@@ -1,0 +1,62 @@
+"""Ablation: ordering batch size vs ingestion throughput.
+
+The paper's evaluation submits one transaction at a time; production
+ingestion (a camera uploading footage) batches. This bench sweeps the
+orderer's ``max_batch_size`` over a fixed frame workload and reports tx/s
+and blocks cut — consensus rounds amortize across a batch, so throughput
+should rise and then flatten once per-item work (hashing, endorsement)
+dominates.
+"""
+
+from repro.bench import emit, format_table
+from repro.core import BatchIngestor, Framework, FrameworkConfig
+from repro.trust import SourceTier
+from repro.workloads.traffic import IngestItem
+
+BATCH_SIZES = (1, 4, 16, 64)
+N_ITEMS = 64
+
+
+def make_items():
+    return [
+        IngestItem(
+            source_id="batch-cam",
+            payload=bytes([i % 256]) * 4096,
+            metadata={"timestamp": float(i), "detections": []},
+            observation=None,
+        )
+        for i in range(N_ITEMS)
+    ]
+
+
+def _run(batch_size: int):
+    framework = Framework(
+        FrameworkConfig(consensus="bft", max_batch_size=batch_size)
+    )
+    ingestor = BatchIngestor(framework, record_provenance=False)
+    ingestor.register(framework.register_source("batch-cam", tier=SourceTier.TRUSTED))
+    report = ingestor.ingest(make_items())
+    assert report.committed == N_ITEMS
+    return report
+
+
+def test_ablation_batch_size(benchmark):
+    def run():
+        return {b: _run(b) for b in BATCH_SIZES}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [b, f"{r.tx_per_s:.0f}", r.blocks, f"{r.elapsed_s * 1e3 / N_ITEMS:.2f}"]
+        for b, r in reports.items()
+    ]
+    text = format_table(
+        f"Ablation: orderer batch size ({N_ITEMS} frames, BFT n=4)",
+        ["batch size", "tx/s", "blocks cut", "ms per item"],
+        rows,
+    )
+    emit("ablation_batching", text)
+
+    # Deterministic claim: consensus rounds amortize (one block per batch).
+    assert reports[64].blocks == 1 and reports[1].blocks == N_ITEMS
+    # Timing claim with noise headroom: batching never degrades throughput.
+    assert reports[16].tx_per_s > 0.9 * reports[1].tx_per_s

@@ -1,0 +1,62 @@
+"""Ablation: DHT routing cost vs swarm size.
+
+The paper's deployment uses two IPFS nodes; a city-scale deployment would
+run hundreds. Kademlia's promise is O(log n) lookup cost — this bench
+measures provider-lookup hops across swarm sizes and checks the growth is
+sublinear, the property that makes the decentralized retrieval path scale.
+"""
+
+import numpy as np
+
+from repro.bench import emit, format_table
+from repro.crypto.cid import CID
+from repro.ipfs.dht import DhtRegistry
+
+SWARM_SIZES = (8, 16, 32, 64, 128)
+N_LOOKUPS = 12
+
+
+def _build(n):
+    registry = DhtRegistry(replication=8)
+    bootstrap = None
+    for i in range(n):
+        registry.join(f"peer-{i}", bootstrap=bootstrap)
+        if bootstrap is None:
+            bootstrap = "peer-0"
+    return registry
+
+
+def _avg_lookup_hops(registry, n_peers):
+    hops = []
+    for i in range(N_LOOKUPS):
+        cid = CID.for_data(f"content-{i}".encode())
+        provider = f"peer-{(i * 7) % n_peers}"
+        registry.provide(provider, cid)
+        requester = f"peer-{(i * 13 + 1) % n_peers}"
+        before = registry.lookup_hops
+        found = registry.find_providers(requester, cid)
+        hops.append(registry.lookup_hops - before)
+        assert provider in found
+    return float(np.mean(hops))
+
+
+def test_ablation_dht_scaling(benchmark):
+    def run():
+        return {n: _avg_lookup_hops(_build(n), n) for n in SWARM_SIZES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, f"{hops:.1f}", f"{hops / n:.2f}"]
+        for n, hops in results.items()
+    ]
+    text = format_table(
+        "Ablation: DHT provider-lookup cost vs swarm size",
+        ["peers", "avg hops per lookup", "hops / n"],
+        rows,
+    )
+    emit("ablation_dht", text)
+
+    # Sublinear growth: 16x more peers must cost far less than 16x hops.
+    assert results[128] < 6 * results[8]
+    # And the fraction of the swarm touched shrinks as the swarm grows.
+    assert results[128] / 128 < results[8] / 8

@@ -1,0 +1,58 @@
+"""Figure 3: detection confidence, static cameras vs drone capture.
+
+The paper: "static cameras yielded higher and more stable confidence
+scores due to consistent capture conditions, while drone data showed
+greater variability from motion blur, altitude changes, and environmental
+factors." This bench regenerates both series over the synthetic corpus and
+asserts that shape.
+"""
+
+import numpy as np
+
+from repro.bench import emit, fig3_confidence, format_table
+from repro.vision import SimulatedYolo, TrafficDataset
+
+
+def test_fig3_confidence_series(benchmark):
+    series = benchmark.pedantic(
+        fig3_confidence,
+        kwargs={"n_videos": 12, "frames_per_video": 4, "include_night": True},
+        rounds=1,
+        iterations=1,
+    )
+    static, drone = series["static"], series["drone"]
+
+    rows = []
+    for key in ("static", "drone", "static-night", "drone-night"):
+        s = series[key]
+        if not s.confidences:
+            rows.append([s.kind, 0, "-", "-", "-", "-"])
+            continue
+        conf = np.array(s.confidences)
+        rows.append([
+            s.kind, len(conf), f"{s.mean:.3f}", f"{s.std:.3f}",
+            f"{np.percentile(conf, 10):.3f}", f"{np.percentile(conf, 90):.3f}",
+        ])
+    text = format_table(
+        "Figure 3: confidence scores, static vs drone (day + night)",
+        ["source", "n", "mean", "std", "p10", "p90"],
+        rows,
+    )
+    emit("fig3_confidence", text)
+
+    # The paper's qualitative result must hold.
+    assert static.mean > drone.mean, "static should out-score drone capture"
+    assert static.std < drone.std, "drone spread should exceed static spread"
+    assert len(static.confidences) > 50 and len(drone.confidences) > 20
+    # Environmental factor: night degrades both sources.
+    assert series["static-night"].mean < static.mean
+    if series["drone-night"].confidences:
+        assert series["drone-night"].mean < static.mean
+
+
+def test_fig3_detection_throughput(benchmark):
+    """Hot path: detector over one drone frame (the expensive case)."""
+    dataset = TrafficDataset(seed=13, frames_per_video=1, n_videos=1)
+    frame = dataset.drone_clip(0).frames[0]
+    detector = SimulatedYolo(seed=13)
+    benchmark(lambda: detector.detect(frame))

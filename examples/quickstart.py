@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: store and retrieve one data item through the full framework.
+
+Walks the paper's Figure 1 once: stand up the network (2 orgs, BFT
+validators, 2 IPFS nodes), register a source, submit data (signature →
+trust gate → IPFS → metadata on-chain via BFT consensus), then query it
+back with integrity verification and inspect its provenance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Client, Framework, FrameworkConfig
+from repro.trust import SourceTier
+
+
+def main() -> None:
+    print("== Standing up the framework (paper testbed shape) ==")
+    framework = Framework(
+        FrameworkConfig(consensus="bft", n_validators=4, n_ipfs_nodes=2)
+    )
+    print(f"  channel: {framework.channel.name!r}, "
+          f"peers: {sorted(framework.channel.peers)}, "
+          f"ipfs nodes: {framework.ipfs.peer_ids()}")
+
+    print("\n== Registering a trusted traffic camera ==")
+    identity = framework.register_source("camera-mg-road", tier=SourceTier.TRUSTED)
+    camera = Client(framework, identity)
+    print(f"  registered {identity.name!r} in org {identity.org!r}")
+
+    print("\n== Submitting a data item (store path ①–⑦) ==")
+    payload = b"\x00" * 4096  # stands in for a video frame
+    metadata = {
+        "timestamp": 1700000000.0,
+        "camera_id": "camera-mg-road",
+        "location": {"lat": 12.9758, "lon": 77.6096},
+        "detections": [
+            {"vehicle_class": "car", "confidence": 0.94, "color": "white"},
+            {"vehicle_class": "two-wheeler", "confidence": 0.88, "color": "black"},
+        ],
+    }
+    receipt = camera.submit(payload, metadata)
+    print(f"  entry id : {receipt.entry_id[:16]}…")
+    print(f"  CID      : {receipt.cid}")
+    print(f"  committed: block {receipt.block_number}, {receipt.validation_code.value}")
+
+    print("\n== Retrieving it back (retrieval path Ⓐ–Ⓓ) ==")
+    result = camera.retrieve(receipt.entry_id)
+    print(f"  bytes fetched from IPFS : {len(result.data)}")
+    print(f"  integrity verified      : {result.verified}")
+    print(f"  on-chain detections     : {len(result.record['metadata']['detections'])}")
+
+    print("\n== Querying metadata (no consensus cost on reads) ==")
+    query_text = "vehicle_class = 'car' ORDER BY metadata.timestamp"
+    rows = camera.query(query_text)
+    plan = camera.engine.plan(query_text).explain()
+    print(f"  query matched {len(rows)} record(s); plan: {plan}")
+
+    print("\n== Provenance ==")
+    for event in camera.provenance(receipt.entry_id):
+        print(f"  seq {event['seq']}: {event['action']:<9} by {event['actor']}  "
+              f"hash {event['entry_hash'][:12]}…")
+    check = camera.verify_provenance(receipt.entry_id)
+    print(f"  chain verified: {check['length']} linked events")
+
+    print("\nDone: data off-chain in IPFS, metadata + provenance on-chain.")
+
+
+if __name__ == "__main__":
+    main()

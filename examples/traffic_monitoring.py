@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Traffic monitoring: the paper's motivating smart-city scenario.
+
+A city runs static cameras and a drone over its road network (the
+IUDX-like synthetic dataset). Each frame goes through the vision pipeline
+(simulated YOLO detection → Figure-2 metadata) and into the framework:
+pixels to IPFS, metadata to the blockchain. A law-enforcement analyst then
+queries the on-chain index — "which frames show trucks around 10-minute
+window X?" — and pulls the matching raw frames with integrity verification.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+from collections import Counter
+
+from repro.core import Client, Framework, FrameworkConfig
+from repro.trust import SourceTier
+from repro.vision import TrafficDataset
+
+N_CAMERAS = 4
+FRAMES_PER_CAMERA = 3
+
+
+def main() -> None:
+    print("== City deployment: cameras + drone over the blockchain framework ==")
+    framework = Framework(FrameworkConfig(consensus="bft", chunk_size=32 * 1024))
+    dataset = TrafficDataset(seed=7, frames_per_video=FRAMES_PER_CAMERA,
+                             n_videos=N_CAMERAS + 1)
+
+    # Register each capture device as a trusted-tier source.
+    clients: dict[str, Client] = {}
+    for i in range(N_CAMERAS):
+        clip = dataset.static_clip(i)
+        identity = framework.register_source(clip.camera_id, tier=SourceTier.TRUSTED)
+        clients[clip.camera_id] = Client(framework, identity)
+    drone_clip = dataset.drone_clip(0)
+    drone_identity = framework.register_source(drone_clip.camera_id, tier=SourceTier.TRUSTED)
+    clients[drone_clip.camera_id] = Client(framework, drone_identity)
+
+    print(f"  registered sources: {sorted(clients)}")
+
+    print("\n== Ingesting frames (detect → extract → IPFS + chain) ==")
+    receipts = []
+    detection_counter: Counter[str] = Counter()
+    clips = [dataset.static_clip(i) for i in range(N_CAMERAS)] + [drone_clip]
+    for clip in clips:
+        client = clients[clip.camera_id]
+        for frame in clip.frames:
+            receipt = client.submit_frame(frame)
+            receipts.append(receipt)
+            record = client.get_metadata(receipt.entry_id)
+            for det in record["metadata"]["detections"]:
+                detection_counter[det["vehicle_class"]] += 1
+    print(f"  ingested {len(receipts)} frames "
+          f"({framework.channel.height()} blocks on-chain)")
+    print(f"  vehicles detected: {dict(detection_counter)}")
+
+    analyst = clients[drone_clip.camera_id]  # any registered identity can query
+
+    print("\n== Analyst query 1: all truck sightings ==")
+    truck_query = "vehicle_class = 'truck' ORDER BY metadata.timestamp"
+    rows = analyst.query(truck_query)
+    print(f"  plan: {analyst.engine.plan(truck_query).explain()}")
+    for row in rows[:5]:
+        meta = row.record["metadata"]
+        trucks = [d for d in meta["detections"] if d["vehicle_class"] == "truck"]
+        print(f"  {meta['camera_id']:<10} t={meta['timestamp']:>8.1f}  "
+              f"trucks={len(trucks)}  best-conf={max(d['confidence'] for d in trucks):.2f}")
+
+    print("\n== Analyst query 2: one camera's window, with raw frames ==")
+    cam_id = dataset.static_clip(0).camera_id
+    rows = analyst.query(f"source_id = '{cam_id}' ORDER BY metadata.timestamp", fetch_data=True)
+    total_bytes = sum(len(r.data or b"") for r in rows)
+    print(f"  {len(rows)} frames from {cam_id}; {total_bytes} raw bytes fetched "
+          f"from IPFS, all integrity-verified: {all(r.verified for r in rows)}")
+
+    print("\n== Static vs drone confidence (the Figure 3 effect) ==")
+    for kind in ("static", "drone"):
+        rows = analyst.query(f"metadata.source_kind = '{kind}'")
+        confs = [
+            d["confidence"]
+            for r in rows
+            for d in r.record["metadata"]["detections"]
+        ]
+        if confs:
+            mean = sum(confs) / len(confs)
+            print(f"  {kind:<7} n={len(confs):>3}  mean confidence {mean:.3f}")
+
+    print("\n== Ledger audit ==")
+    for name, peer in framework.channel.peers.items():
+        peer.ledger.verify_chain()
+    print(f"  every peer's hash chain verified at height {framework.channel.height()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""repro — a from-scratch Python reproduction of "A Blockchain-Enabled
+Framework for Storage and Retrieval of Social Data" (IPPS 2025).
+
+The package composes an HLF-like permissioned blockchain (`repro.fabric`),
+an IPFS-like content-addressed store (`repro.ipfs`), BFT consensus
+(`repro.consensus`), a trust engine for untrusted sources (`repro.trust`),
+a traffic-vision metadata pipeline (`repro.vision`), and a hybrid
+on-chain/off-chain query engine (`repro.query`) behind the high-level API in
+`repro.core` (:class:`repro.core.Framework` / :class:`repro.core.Client`).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Benchmark harness: timers, table rendering, and per-figure data
+generation for the paper's evaluation (Figures 2–6)."""
+
+from repro.bench.figures import (
+    ConfidenceSeries,
+    HybridTiming,
+    fig2_sample_record,
+    fig3_confidence,
+    fig4_extraction_scatter,
+    fig5_storage_times,
+    fig6_retrieval_times,
+)
+from repro.bench.report import emit, format_table, human_size
+from repro.bench.timer import Timing, measure
+
+__all__ = [
+    "ConfidenceSeries",
+    "HybridTiming",
+    "fig2_sample_record",
+    "fig3_confidence",
+    "fig4_extraction_scatter",
+    "fig5_storage_times",
+    "fig6_retrieval_times",
+    "emit",
+    "format_table",
+    "human_size",
+    "Timing",
+    "measure",
+]

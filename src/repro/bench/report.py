@@ -1,0 +1,53 @@
+"""Text rendering of benchmark series: the rows/series each figure reports.
+
+Every figure bench both prints its table and writes it under
+``benchmarks/results/`` so a run leaves regeneration artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def emit(name: str, text: str) -> Path:
+    """Print a table and persist it to benchmarks/results/<name>.txt."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def human_size(n_bytes: int) -> str:
+    if n_bytes >= 1 << 20:
+        return f"{n_bytes / (1 << 20):.0f} MiB"
+    if n_bytes >= 1 << 10:
+        return f"{n_bytes / (1 << 10):.0f} KiB"
+    return f"{n_bytes} B"

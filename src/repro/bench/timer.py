@@ -1,0 +1,46 @@
+"""Timing utilities for the figure-regeneration harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Summary statistics of repeated timed runs (seconds)."""
+
+    samples: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.samples))
+
+
+def measure(fn: Callable[[], object], repeat: int = 5, warmup: int = 1) -> Timing:
+    """Time ``fn`` ``repeat`` times after ``warmup`` discarded runs."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return Timing(samples=tuple(samples))

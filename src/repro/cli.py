@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Session-scoped demos of the framework (the substrate is in-process, so
+every invocation stands up a fresh network — there is no daemon):
+
+* ``demo``                 — one item through the full store/retrieve path
+* ``ingest``               — batch-ingest synthetic traffic videos, print throughput
+* ``figure {2,3,4,5,6}``   — regenerate one of the paper's evaluation figures
+* ``query "<text>"``       — run a query against a freshly populated demo set
+* ``info``                 — version and default configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import repro
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Blockchain-enabled storage/retrieval framework (IPPS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="store + retrieve one item end to end")
+
+    ingest = sub.add_parser("ingest", help="batch-ingest synthetic traffic videos")
+    ingest.add_argument("--videos", type=int, default=3)
+    ingest.add_argument("--frames", type=int, default=3)
+    ingest.add_argument("--batch", type=int, default=16)
+    ingest.add_argument("--consensus", choices=["solo", "bft"], default="bft")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure's series")
+    figure.add_argument("number", type=int, choices=[2, 3, 4, 5, 6])
+
+    query = sub.add_parser("query", help="run a query over a demo dataset")
+    query.add_argument("text", help="query text, e.g. \"vehicle_class = 'truck'\"")
+    query.add_argument("--videos", type=int, default=3)
+    query.add_argument("--fetch", action="store_true", help="also fetch raw bytes from IPFS")
+
+    export = sub.add_parser("export", help="export a demo dataset slice as a signed bundle")
+    export.add_argument("out", help="output file for the bundle")
+    export.add_argument("--query", default="", help="query selecting what to export")
+    export.add_argument("--videos", type=int, default=2)
+
+    inspect = sub.add_parser("inspect-bundle", help="verify and summarize a bundle file")
+    inspect.add_argument("path", help="bundle file to inspect")
+
+    sub.add_parser("info", help="version and defaults")
+    return parser
+
+
+def _cmd_demo() -> int:
+    from repro.core import Client, Framework, FrameworkConfig
+    from repro.trust import SourceTier
+
+    framework = Framework(FrameworkConfig())
+    client = Client(framework, framework.register_source("cli-cam", tier=SourceTier.TRUSTED))
+    receipt = client.submit(
+        b"cli demo payload" * 64,
+        {"timestamp": 1.0, "camera_id": "cli-cam",
+         "detections": [{"vehicle_class": "car", "confidence": 0.9}]},
+    )
+    print(f"stored  : entry {receipt.entry_id[:16]}… cid {receipt.cid[:24]}… "
+          f"block {receipt.block_number} ({receipt.validation_code.value})")
+    result = client.retrieve(receipt.entry_id)
+    print(f"fetched : {len(result.data)} bytes, integrity verified: {result.verified}")
+    lineage = client.provenance(receipt.entry_id)
+    print(f"lineage : {' -> '.join(e['action'] for e in lineage)}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from repro.core import BatchIngestor, Framework, FrameworkConfig
+    from repro.trust import SourceTier
+    from repro.workloads.traffic import ingest_stream
+
+    framework = Framework(
+        FrameworkConfig(consensus=args.consensus, max_batch_size=args.batch)
+    )
+    ingestor = BatchIngestor(framework, record_provenance=False)
+    items = list(ingest_stream(n_videos=args.videos, frames_per_video=args.frames))
+    for source in sorted({i.source_id for i in items}):
+        ingestor.register(framework.register_source(source, tier=SourceTier.TRUSTED))
+    report = ingestor.ingest(items)
+    print(f"sources   : {args.videos} cameras, {len(items)} frames")
+    print(f"committed : {report.committed}/{report.submitted} "
+          f"in {report.blocks} blocks ({args.consensus} ordering)")
+    print(f"throughput: {report.tx_per_s:.1f} tx/s, {report.mib_per_s:.1f} MiB/s")
+    return 0
+
+
+def _cmd_figure(number: int) -> int:
+    from repro.bench import (
+        fig2_sample_record,
+        fig3_confidence,
+        fig4_extraction_scatter,
+        fig5_storage_times,
+        fig6_retrieval_times,
+        format_table,
+        human_size,
+    )
+
+    if number == 2:
+        print(json.dumps(fig2_sample_record(), indent=2, sort_keys=True))
+    elif number == 3:
+        series = fig3_confidence()
+        rows = [[s.kind, len(s.confidences), f"{s.mean:.3f}", f"{s.std:.3f}"]
+                for s in series.values()]
+        print(format_table("Figure 3: confidence, static vs drone",
+                           ["source", "n", "mean", "std"], rows))
+    elif number == 4:
+        points = fig4_extraction_scatter(n_frames=30)
+        rows = [[size, f"{t * 1e3:.4f}"] for size, t in points[:15]]
+        print(format_table("Figure 4: extraction time (first 15 records)",
+                           ["record bytes", "ms"], rows))
+    elif number in (5, 6):
+        fn = fig5_storage_times if number == 5 else fig6_retrieval_times
+        timings = fn(sizes=(1 << 10, 64 << 10, 1 << 20), repeats=2)
+        verb = "storage" if number == 5 else "retrieval"
+        rows = [[human_size(t.size), f"{t.ipfs_only_s * 1e3:.3f}",
+                 f"{t.with_blockchain_s * 1e3:.3f}", f"{t.overhead_s * 1e3:.3f}"]
+                for t in timings]
+        print(format_table(f"Figure {number}: {verb} time (ms)",
+                           ["size", "IPFS only", "with blockchain", "overhead"], rows))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.core import BatchIngestor, Client, Framework, FrameworkConfig
+    from repro.trust import SourceTier
+    from repro.workloads.traffic import ingest_stream
+
+    framework = Framework(FrameworkConfig(consensus="solo", max_batch_size=16))
+    ingestor = BatchIngestor(framework, record_provenance=False)
+    items = list(ingest_stream(n_videos=args.videos, frames_per_video=2))
+    identity = None
+    for source in sorted({i.source_id for i in items}):
+        identity = framework.register_source(source, tier=SourceTier.TRUSTED)
+        ingestor.register(identity)
+    ingestor.ingest(items)
+    client = Client(framework, identity)
+    print(f"dataset: {len(items)} frames from {args.videos} cameras")
+    print(f"plan   : {client.engine.plan(args.text).explain()}")
+    rows = client.query(args.text, fetch_data=args.fetch)
+    print(f"matched: {len(rows)} records")
+    for row in rows[:10]:
+        meta = row.record["metadata"]
+        extra = f", {len(row.data)} raw bytes" if row.data is not None else ""
+        print(f"  {row.entry_id[:12]}…  {meta.get('camera_id', '?'):<10} "
+              f"t={meta.get('timestamp', 0):>10.1f}  "
+              f"detections={len(meta.get('detections', []))}{extra}")
+    return 0
+
+
+def _demo_client(videos: int):
+    from repro.core import BatchIngestor, Client, Framework, FrameworkConfig
+    from repro.trust import SourceTier
+    from repro.workloads.traffic import ingest_stream
+
+    framework = Framework(FrameworkConfig(consensus="solo", max_batch_size=16))
+    ingestor = BatchIngestor(framework, record_provenance=True)
+    items = list(ingest_stream(n_videos=videos, frames_per_video=2))
+    identity = None
+    for source in sorted({i.source_id for i in items}):
+        identity = framework.register_source(source, tier=SourceTier.TRUSTED)
+        ingestor.register(identity)
+    ingestor.ingest(items)
+    return Client(framework, identity), len(items)
+
+
+def _cmd_export(args) -> int:
+    from repro.core.archive import export_bundle
+
+    client, n_items = _demo_client(args.videos)
+    raw = export_bundle(client, args.query)
+    with open(args.out, "wb") as fh:
+        fh.write(raw)
+    print(f"dataset : {n_items} frames ingested")
+    print(f"exported: {args.out} ({len(raw)} bytes), query {args.query!r}")
+    return 0
+
+
+def _cmd_inspect_bundle(path: str) -> int:
+    from repro.core.archive import import_bundle
+
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    bundle, store = import_bundle(raw)
+    print(f"bundle  : {len(bundle.entries)} entries from channel {bundle.channel!r}")
+    print(f"exporter: {bundle.exporter['name']}@{bundle.exporter['org']} (signature OK)")
+    print(f"query   : {bundle.query_text!r}")
+    print(f"blocks  : {len(store)} content-addressed blocks, all hash-verified")
+    for entry in bundle.entries[:5]:
+        meta = entry.record["metadata"]
+        print(f"  {entry.entry_id[:12]}…  {meta.get('camera_id', '?'):<10} "
+              f"t={meta.get('timestamp', 0):>10.1f}  provenance={len(entry.provenance)} events")
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.core import FrameworkConfig
+
+    config = FrameworkConfig()
+    print(f"repro {repro.__version__}")
+    print(f"default deployment: orgs={list(config.orgs)}, consensus={config.consensus}, "
+          f"validators={config.n_validators}, ipfs nodes={config.n_ipfs_nodes}, "
+          f"chunk={config.chunk_size // 1024} KiB")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "figure":
+        return _cmd_figure(args.number)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "inspect-bundle":
+        return _cmd_inspect_bundle(args.path)
+    if args.command == "info":
+        return _cmd_info()
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

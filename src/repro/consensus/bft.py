@@ -1,0 +1,511 @@
+"""PBFT-style Byzantine fault tolerant consensus over the simulated network.
+
+This is the consensus the paper's validators run (§III, §III-A): the primary
+pre-prepares a client request; every replica independently validates it (the
+hook where the validation smart contract executes), broadcasts its PREPARE
+vote, and after a 2f-strong prepare quorum broadcasts COMMIT; a request is
+*ordered* once 2f+1 commits arrive. Transaction *validity* is decided
+separately from ordering, by counting the validators' verdict votes — a
+transaction is accepted only if at least 2/3 of replicas voted valid, the
+paper's acceptance rule. Invalid transactions are still ordered (so every
+replica agrees on what was rejected), mirroring Fabric's validated-flag
+commit.
+
+Byzantine behaviour injection (:class:`Behaviour`) covers the faults the
+paper's threat model names: crashed validators, silent ones, equivocators
+that send conflicting digests, and corrupt validators that endorse invalid
+transactions / reject valid ones. With n = 3f+1 replicas the protocol
+tolerates f such faults; tests and the ablation bench drive it past that
+bound to show where agreement degrades.
+
+A lightweight view-change fires when a replica's commit timer expires:
+replicas vote for view v+1, and on 2f+1 votes the new primary re-proposes
+pending requests. Repeatedly-misbehaving replicas can be reported to a
+:class:`repro.trust.ValidatorPool` by the caller via per-decision vote data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.consensus.messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    NewView,
+    Prepare,
+    PrePrepare,
+    ViewChange,
+)
+from repro.errors import ConsensusError
+from repro.net import Message, NetNode, SimNetwork
+from repro.util.serialization import canonical_json
+
+
+class Behaviour(str, Enum):
+    """Fault model of a single replica."""
+
+    NORMAL = "normal"
+    CRASHED = "crashed"          # participates in nothing
+    SILENT = "silent"            # receives but never sends
+    EQUIVOCATE = "equivocate"    # primary-only: conflicting pre-prepares
+    WRONG_DIGEST = "wrong-digest"  # votes on corrupted digests
+    ALWAYS_VALID = "always-valid"    # endorses everything, even invalid
+    ALWAYS_INVALID = "always-invalid"  # rejects everything, even valid
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One slot of the agreed log, identical on every honest replica."""
+
+    seq: int
+    view: int
+    request: ClientRequest
+    accepted: bool           # >= 2/3 of commit votes said "valid"
+    valid_votes: int
+    invalid_votes: int
+    votes: dict[str, bool] = field(default_factory=dict, compare=False)
+
+
+def _digest(request: ClientRequest) -> str:
+    return hashlib.sha256(
+        canonical_json({"id": request.request_id, "payload": request.payload})
+    ).hexdigest()
+
+
+@dataclass
+class _SlotState:
+    pre_prepare: PrePrepare | None = None
+    prepares: dict[str, Prepare] = field(default_factory=dict)
+    commits: dict[str, Commit] = field(default_factory=dict)
+    my_verdict: bool | None = None
+    sent_prepare: bool = False
+    sent_commit: bool = False
+    decided: bool = False
+    decision: Decision | None = None
+
+
+class BftReplica(NetNode):
+    """One PBFT replica/validator."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        cluster: "BftCluster",
+        behaviour: Behaviour = Behaviour.NORMAL,
+    ) -> None:
+        super().__init__(name, network)
+        self.cluster = cluster
+        self.behaviour = behaviour
+        self.view = 0
+        self.log: list[Decision] = []
+        self._slots: dict[tuple[int, int], _SlotState] = {}
+        self._next_seq = 0  # primary-only counter
+        self._assigned: set[str] = set()  # request ids this primary proposed
+        self._decided_seqs: set[int] = set()
+        self._view_votes: dict[int, dict[str, ViewChange]] = {}
+        self._pending_timeouts: dict[str, bool] = {}
+        self._checkpoint_votes: dict[tuple[int, str], set[str]] = {}
+        self.stable_checkpoint = -1  # highest garbage-collected sequence
+        if behaviour is Behaviour.CRASHED:
+            network.set_node_up(name, False)
+
+    # -- identity helpers ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.cluster.replica_names)
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    def is_primary(self) -> bool:
+        return self.cluster.primary_for(self.view) == self.name
+
+    def _quorum(self) -> int:
+        # 2f+1 of 3f+1: the classic BFT quorum (>= two-thirds).
+        return 2 * self.f + 1
+
+    # -- sending with fault model ---------------------------------------------
+
+    def _cast(self, payload: Any, size: int = 512) -> None:
+        if self.behaviour in (Behaviour.CRASHED, Behaviour.SILENT):
+            return
+        self.broadcast(payload, size_bytes=size, kind=type(payload).__name__)
+        # Loopback: a replica processes its own votes immediately.
+        self._dispatch(payload)
+
+    # -- client entry point -----------------------------------------------------
+
+    def on_request(self, request: ClientRequest) -> None:
+        """Handle a client request: primary proposes, others arm a timeout."""
+        if not self.is_primary():
+            self._arm_timeout(request)
+            return
+        if self.behaviour in (Behaviour.CRASHED, Behaviour.SILENT):
+            return  # a dead primary stalls the slot until view change
+        if request.request_id in self._assigned:
+            return  # duplicate delivery (clients broadcast requests)
+        self._assigned.add(request.request_id)
+        seq = self._next_seq
+        self._next_seq += 1
+        digest = _digest(request)
+        if self.behaviour is Behaviour.EQUIVOCATE:
+            # Send conflicting digests to different halves of the cluster.
+            for i, dst in enumerate(self.cluster.replica_names):
+                if dst == self.name:
+                    continue
+                forged = digest if i % 2 == 0 else digest[::-1]
+                self.send(
+                    dst,
+                    PrePrepare(self.view, seq, forged, request),
+                    kind="PrePrepare",
+                )
+            self._dispatch(PrePrepare(self.view, seq, digest, request))
+            return
+        self._cast(PrePrepare(self.view, seq, digest, request))
+
+    def _arm_timeout(self, request: ClientRequest) -> None:
+        """Expect the request to commit within the view timeout."""
+        self._pending_timeouts[request.request_id] = False
+        self.after(self.cluster.view_timeout, lambda: self._check_timeout(request))
+
+    def _check_timeout(self, request: ClientRequest) -> None:
+        if self._pending_timeouts.get(request.request_id):
+            return  # committed in time
+        self._start_view_change(self.view + 1, pending=(request,))
+        # Re-arm: if the next primary is also faulty, keep rotating views.
+        self.after(self.cluster.view_timeout, lambda: self._check_timeout(request))
+
+    # -- message handling -----------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        if self.behaviour is Behaviour.CRASHED:
+            return
+        self._dispatch(msg.payload)
+
+    def _dispatch(self, payload: Any) -> None:
+        if isinstance(payload, ClientRequest):
+            self.on_request(payload)
+        elif isinstance(payload, PrePrepare):
+            self._on_pre_prepare(payload)
+        elif isinstance(payload, Prepare):
+            self._on_prepare(payload)
+        elif isinstance(payload, Commit):
+            self._on_commit(payload)
+        elif isinstance(payload, Checkpoint):
+            self._on_checkpoint(payload)
+        elif isinstance(payload, ViewChange):
+            self._on_view_change(payload)
+        elif isinstance(payload, NewView):
+            self._on_new_view(payload)
+
+    def _slot(self, view: int, seq: int) -> _SlotState:
+        return self._slots.setdefault((view, seq), _SlotState())
+
+    def _verdict_for(self, request: ClientRequest) -> bool:
+        if self.behaviour is Behaviour.ALWAYS_VALID:
+            return True
+        if self.behaviour is Behaviour.ALWAYS_INVALID:
+            return False
+        return self.cluster.validate(self.name, request)
+
+    def _vote_digest(self, digest: str) -> str:
+        if self.behaviour is Behaviour.WRONG_DIGEST:
+            return digest[::-1]
+        return digest
+
+    def _on_pre_prepare(self, msg: PrePrepare) -> None:
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        if slot.pre_prepare is not None and slot.pre_prepare.digest != msg.digest:
+            return  # equivocation detected: keep the first, ignore the fork
+        # Honest replicas check the primary's digest against the request.
+        if self.behaviour is Behaviour.NORMAL and _digest(msg.request) != msg.digest:
+            return
+        slot.pre_prepare = msg
+        if slot.sent_prepare:
+            return
+        slot.sent_prepare = True
+        # Independent validation — "each peer executes the smart contract
+        # independently" (paper §III step 6).
+        slot.my_verdict = self._verdict_for(msg.request)
+        self._cast(
+            Prepare(
+                msg.view, msg.seq, self._vote_digest(msg.digest), self.name, slot.my_verdict
+            )
+        )
+        self._maybe_progress(msg.view, msg.seq)
+
+    def _on_prepare(self, msg: Prepare) -> None:
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        slot.prepares[msg.replica] = msg
+        self._maybe_progress(msg.view, msg.seq)
+
+    def _on_commit(self, msg: Commit) -> None:
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        slot.commits[msg.replica] = msg
+        if slot.decided and slot.decision is not None and slot.pre_prepare is not None:
+            # Straggler commits keep enriching the decision's vote record so
+            # accountability (validator flagging) judges every validator that
+            # eventually voted, not just the first quorum. The verdict itself
+            # never changes — the thresholds are mutually exclusive.
+            if msg.digest == slot.pre_prepare.digest:
+                slot.decision.votes.setdefault(msg.replica, msg.valid)
+            return
+        self._maybe_progress(msg.view, msg.seq)
+
+    def _maybe_progress(self, view: int, seq: int) -> None:
+        slot = self._slot(view, seq)
+        if slot.pre_prepare is None:
+            return
+        digest = slot.pre_prepare.digest
+        matching_prepares = [p for p in slot.prepares.values() if p.digest == digest]
+        # Prepared: pre-prepare + 2f prepares matching the digest (own included).
+        if not slot.sent_commit and len(matching_prepares) >= 2 * self.f + 1:
+            slot.sent_commit = True
+            verdict = slot.my_verdict if slot.my_verdict is not None else False
+            self._cast(Commit(view, seq, self._vote_digest(digest), self.name, verdict))
+        matching_commits = [c for c in slot.commits.values() if c.digest == digest]
+        if slot.decided or len(matching_commits) < self._quorum():
+            return
+        # Validity thresholds are arrival-order independent and mutually
+        # exclusive: with n = 3f+1 votes, "valid >= 2f+1" and
+        # "invalid >= f+1" cannot both hold (2f+1 + f+1 > n), and honest
+        # replicas vote identically, so every replica reaches one verdict.
+        valid = sum(1 for c in matching_commits if c.valid)
+        invalid = len(matching_commits) - valid
+        if valid >= self._quorum():
+            accepted = True
+        elif invalid >= self.f + 1:
+            accepted = False
+        else:
+            return  # ordered but verdict not yet determined; wait for votes
+        slot.decided = True
+        self._decide(view, seq, slot, matching_commits, accepted)
+
+    def _decide(
+        self,
+        view: int,
+        seq: int,
+        slot: _SlotState,
+        commits: list[Commit],
+        accepted: bool,
+    ) -> None:
+        if seq in self._decided_seqs:
+            return
+        self._decided_seqs.add(seq)
+        votes = {c.replica: c.valid for c in commits}
+        valid = sum(1 for v in votes.values() if v)
+        invalid = len(votes) - valid
+        request = slot.pre_prepare.request  # type: ignore[union-attr]
+        decision = Decision(
+            seq=seq,
+            view=view,
+            request=request,
+            accepted=accepted,
+            valid_votes=valid,
+            invalid_votes=invalid,
+            votes=votes,
+        )
+        slot.decision = decision
+        self.log.append(decision)
+        self._pending_timeouts[request.request_id] = True
+        self.cluster.notify_decision(self.name, decision)
+        self._maybe_checkpoint()
+
+    # -- checkpointing / log GC -----------------------------------------------
+
+    def _log_digest(self, up_to_seq: int) -> str:
+        """Digest of the decided log prefix — what checkpoints agree on."""
+        prefix = sorted(
+            (d.seq, d.request.request_id, d.accepted)
+            for d in self.log
+            if d.seq <= up_to_seq
+        )
+        return hashlib.sha256(canonical_json([list(p) for p in prefix])).hexdigest()
+
+    def _maybe_checkpoint(self) -> None:
+        interval = self.cluster.checkpoint_interval
+        if interval <= 0:
+            return
+        decided = {d.seq for d in self.log}
+        # Checkpoint at the highest contiguous multiple-of-interval frontier.
+        target = -1
+        seq = self.stable_checkpoint + interval
+        while set(range(0, seq + 1)) <= decided | set(range(0, self.stable_checkpoint + 1)):
+            target = seq
+            seq += interval
+        if target < 0:
+            return
+        digest = self._log_digest(target)
+        self._cast(Checkpoint(seq=target, digest=digest, replica=self.name), size=128)
+
+    def _on_checkpoint(self, msg: Checkpoint) -> None:
+        if msg.seq <= self.stable_checkpoint:
+            return
+        votes = self._checkpoint_votes.setdefault((msg.seq, msg.digest), set())
+        votes.add(msg.replica)
+        if len(votes) >= self._quorum():
+            self._gc_to(msg.seq)
+
+    def _gc_to(self, seq: int) -> None:
+        """A checkpoint at ``seq`` is stable: discard protocol state for
+        every slot at or below it (the decided log itself is kept)."""
+        self.stable_checkpoint = max(self.stable_checkpoint, seq)
+        for key in [k for k in self._slots if k[1] <= seq]:
+            del self._slots[key]
+        for key in [k for k in self._checkpoint_votes if k[0] <= seq]:
+            del self._checkpoint_votes[key]
+
+    # -- view change -------------------------------------------------------------
+
+    def _start_view_change(self, new_view: int, pending: tuple[ClientRequest, ...] = ()) -> None:
+        if new_view <= self.view:
+            return
+        self._cast(ViewChange(new_view=new_view, replica=self.name, pending=pending))
+
+    def _on_view_change(self, msg: ViewChange) -> None:
+        if msg.new_view <= self.view:
+            return
+        votes = self._view_votes.setdefault(msg.new_view, {})
+        votes[msg.replica] = msg
+        if len(votes) >= self._quorum():
+            self._enter_view(msg.new_view)
+            if self.is_primary():
+                self._cast(NewView(new_view=self.view, primary=self.name))
+                # Re-propose every pending request reported by the quorum.
+                seen: set[str] = set()
+                for vc in votes.values():
+                    for req in vc.pending:
+                        if req.request_id not in seen and req.request_id not in (
+                            d.request.request_id for d in self.log
+                        ):
+                            seen.add(req.request_id)
+                            self.on_request(req)
+
+    def _on_new_view(self, msg: NewView) -> None:
+        if msg.new_view > self.view:
+            self._enter_view(msg.new_view)
+
+    def _enter_view(self, view: int) -> None:
+        self.view = view
+        # Primary's sequence counter continues past anything it has decided.
+        if self._decided_seqs:
+            self._next_seq = max(self._next_seq, max(self._decided_seqs) + 1)
+
+
+class BftCluster:
+    """Builds and drives a set of PBFT replicas on one SimNetwork.
+
+    ``validator(replica_name, request)`` is the per-replica validation hook —
+    the framework plugs chaincode execution in here. ``on_decision`` fires
+    once per (replica, decision).
+    """
+
+    def __init__(
+        self,
+        n_replicas: int = 4,
+        network: SimNetwork | None = None,
+        validator: Callable[[str, ClientRequest], bool] | None = None,
+        behaviours: dict[str, Behaviour] | None = None,
+        view_timeout: float = 5.0,
+        on_decision: Callable[[str, Decision], None] | None = None,
+        checkpoint_interval: int = 0,
+    ) -> None:
+        if n_replicas < 4:
+            raise ConsensusError("PBFT needs n >= 4 (n = 3f+1, f >= 1)")
+        self.network = network or SimNetwork()
+        self.replica_names = [f"validator-{i}" for i in range(n_replicas)]
+        self._validator = validator or (lambda name, req: True)
+        self.view_timeout = view_timeout
+        self.checkpoint_interval = checkpoint_interval
+        self._on_decision = on_decision
+        behaviours = behaviours or {}
+        self.replicas: dict[str, BftReplica] = {
+            name: BftReplica(
+                name, self.network, self, behaviours.get(name, Behaviour.NORMAL)
+            )
+            for name in self.replica_names
+        }
+        self._client_seq = 0
+
+    # -- cluster facts ---------------------------------------------------------
+
+    @property
+    def f(self) -> int:
+        return (len(self.replica_names) - 1) // 3
+
+    def primary_for(self, view: int) -> str:
+        return self.replica_names[view % len(self.replica_names)]
+
+    def validate(self, replica: str, request: ClientRequest) -> bool:
+        return self._validator(replica, request)
+
+    def notify_decision(self, replica: str, decision: Decision) -> None:
+        if self._on_decision is not None:
+            self._on_decision(replica, decision)
+
+    # -- driving ------------------------------------------------------------------
+
+    def submit(self, payload: Any, request_id: str | None = None) -> ClientRequest:
+        """Inject a client request at a non-primary replica (worst case path)."""
+        if request_id is None:
+            request_id = f"req-{self._client_seq}"
+            self._client_seq += 1
+        request = ClientRequest(request_id=request_id, payload=payload)
+        # Clients broadcast the request to every replica (the PBFT variant
+        # with client broadcast): the primary proposes it, the others arm
+        # commit timeouts so a dead primary triggers a view change.
+        for replica in self.replicas.values():
+            if self.network.is_up(replica.name):
+                replica.on_request(request)
+        return request
+
+    def run(self, until: float | None = None) -> None:
+        self.network.run(until=until)
+
+    # -- inspection ------------------------------------------------------------------
+
+    def honest_replicas(self) -> list[BftReplica]:
+        return [
+            r
+            for r in self.replicas.values()
+            if r.behaviour in (Behaviour.NORMAL, Behaviour.ALWAYS_VALID, Behaviour.ALWAYS_INVALID)
+            and self.network.is_up(r.name)
+        ]
+
+    def decided_log(self) -> list[Decision]:
+        """The agreed log, taken from any honest NORMAL replica with the
+        longest log (all honest logs must be prefix-consistent)."""
+        normals = [
+            r
+            for r in self.replicas.values()
+            if r.behaviour is Behaviour.NORMAL and self.network.is_up(r.name)
+        ]
+        if not normals:
+            raise ConsensusError("no honest replica available")
+        best = max(normals, key=lambda r: len(r.log))
+        return sorted(best.log, key=lambda d: d.seq)
+
+    def agreement_reached(self, request_id: str) -> bool:
+        """Did every live honest replica decide this request identically?"""
+        decisions = []
+        for replica in self.replicas.values():
+            if replica.behaviour is not Behaviour.NORMAL or not self.network.is_up(replica.name):
+                continue
+            mine = [d for d in replica.log if d.request.request_id == request_id]
+            if not mine:
+                return False
+            decisions.append((mine[0].seq, mine[0].accepted))
+        return len(set(decisions)) == 1 and bool(decisions)

@@ -1,0 +1,136 @@
+"""Wire messages for the consensus protocols (PBFT and Raft)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+# ---------------------------------------------------------------------------
+# PBFT
+# ---------------------------------------------------------------------------
+
+
+class Phase(str, Enum):
+    PRE_PREPARE = "pre-prepare"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A payload a client asks the cluster to order and validate."""
+
+    request_id: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    view: int
+    seq: int
+    digest: str
+    request: ClientRequest
+
+
+@dataclass(frozen=True)
+class Prepare:
+    view: int
+    seq: int
+    digest: str
+    replica: str
+    # The replica's independent validation verdict for the request; the
+    # cluster decides transaction validity by a 2/3 quorum of these votes
+    # (paper §III-A: "Validators then vote on the transaction's validity").
+    valid: bool
+
+
+@dataclass(frozen=True)
+class Commit:
+    view: int
+    seq: int
+    digest: str
+    replica: str
+    valid: bool
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Periodic proof of progress: replicas agreeing on the log prefix up
+    to ``seq`` may garbage-collect that prefix's protocol state."""
+
+    seq: int
+    digest: str
+    replica: str
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    new_view: int
+    replica: str
+    # Requests the replica saw pre-prepared but not yet committed; the new
+    # primary re-proposes them so nothing accepted is lost.
+    pending: tuple[ClientRequest, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class NewView:
+    new_view: int
+    primary: str
+
+
+# ---------------------------------------------------------------------------
+# Raft
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter: str
+    granted: bool
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    term: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower: str
+    success: bool
+    match_index: int
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    """Raft log compaction: ships the committed prefix to a follower whose
+    next needed entry was already compacted away on the leader."""
+
+    term: int
+    leader: str
+    last_included_index: int
+    last_included_term: int
+    payloads: tuple[Any, ...]  # the committed prefix, in order

@@ -1,0 +1,445 @@
+"""Raft consensus: the crash-fault-tolerant baseline for the BFT ablation.
+
+Raft orders the same log with a simple majority (f+1 of 2f+1) and no
+Byzantine defences: one round-trip per entry in the steady state versus
+PBFT's three all-to-all phases. The ablation bench uses this contrast to
+price the paper's choice of BFT ("how much does Byzantine tolerance cost
+per transaction?").
+
+Implemented per the Raft paper's Figure 2: randomized election timeouts,
+RequestVote with log-up-to-date checks, AppendEntries with consistency
+probing and follower log repair, majority-match commit advancement, and
+log compaction with InstallSnapshot for followers that fall behind a
+compacted leader. Membership changes are out of scope.
+
+Log positions are 1-based *counts*: ``commit_index`` is the number of
+committed entries, ``_global_len`` the total. After compaction the first
+``len(_snapshot)`` positions live in the snapshot; the in-memory ``log``
+holds the suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable
+
+from repro.consensus.messages import (
+    AppendEntries,
+    AppendReply,
+    InstallSnapshot,
+    LogEntry,
+    RequestVote,
+    VoteReply,
+)
+from repro.errors import ConsensusError
+from repro.net import Message, NetNode, SimNetwork
+from repro.util.rng import rng_for
+
+
+class Role(str, Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+class RaftNode(NetNode):
+    """One Raft server."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        cluster: "RaftCluster",
+        election_timeout: tuple[float, float] = (0.15, 0.3),
+        heartbeat_interval: float = 0.05,
+    ) -> None:
+        super().__init__(name, network)
+        self.cluster = cluster
+        self.role = Role.FOLLOWER
+        self.term = 0
+        self.voted_for: str | None = None
+        self.log: list[LogEntry] = []
+        self.commit_index = 0  # count of committed entries (global)
+        self._snapshot: list[Any] = []  # payloads of the compacted prefix
+        self._snapshot_term = 0
+        self._votes: set[str] = set()
+        self._next_index: dict[str, int] = {}
+        self._match_index: dict[str, int] = {}
+        self._election_timeout = election_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._rng = rng_for(cluster.seed, "raft", name)
+        self._timer_epoch = 0
+        self._reset_election_timer()
+
+    # -- log geometry ------------------------------------------------------------
+
+    @property
+    def _offset(self) -> int:
+        return len(self._snapshot)
+
+    @property
+    def _global_len(self) -> int:
+        return self._offset + len(self.log)
+
+    def _term_at(self, position: int) -> int:
+        """Term of the entry at 1-based ``position`` (0 = before genesis).
+
+        Positions inside the compacted prefix only ever get asked for the
+        boundary (``position == offset``); the snapshot term covers it.
+        """
+        if position == 0:
+            return 0
+        if position <= self._offset:
+            return self._snapshot_term
+        return self.log[position - self._offset - 1].term
+
+    def _last_log_term(self) -> int:
+        return self.log[-1].term if self.log else self._snapshot_term
+
+    # -- timers ----------------------------------------------------------------
+
+    def _reset_election_timer(self) -> None:
+        self._timer_epoch += 1
+        epoch = self._timer_epoch
+        delay = float(self._rng.uniform(*self._election_timeout))
+        self.after(delay, lambda: self._election_timeout_fired(epoch))
+
+    def _election_timeout_fired(self, epoch: int) -> None:
+        if epoch != self._timer_epoch or self.role is Role.LEADER:
+            return
+        if not self.network.is_up(self.name):
+            # Crashed node: keep the timer alive so a restart resumes Raft.
+            self._reset_election_timer()
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        self.role = Role.CANDIDATE
+        self.term += 1
+        self.voted_for = self.name
+        self._votes = {self.name}
+        self.broadcast(
+            RequestVote(
+                term=self.term,
+                candidate=self.name,
+                last_log_index=self._global_len,
+                last_log_term=self._last_log_term(),
+            ),
+            kind="RequestVote",
+        )
+        self._reset_election_timer()
+        self._maybe_win()
+
+    def _maybe_win(self) -> None:
+        if self.role is Role.CANDIDATE and len(self._votes) >= self.cluster.majority:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self._next_index = {p: self._global_len for p in self.cluster.node_names}
+        self._match_index = {p: 0 for p in self.cluster.node_names}
+        self._match_index[self.name] = self._global_len
+        self.cluster.leader_changes += 1
+        self._send_heartbeats()
+
+    def _send_heartbeats(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        if self.network.is_up(self.name):
+            for peer in self.cluster.node_names:
+                if peer != self.name:
+                    self._replicate_to(peer)
+        self.after(self._heartbeat_interval, self._send_heartbeats)
+
+    # -- client entry -------------------------------------------------------------
+
+    def propose(self, payload: Any) -> bool:
+        """Append a client payload if this node is the leader."""
+        if self.role is not Role.LEADER:
+            return False
+        self.log.append(LogEntry(term=self.term, payload=payload))
+        self._match_index[self.name] = self._global_len
+        for peer in self.cluster.node_names:
+            if peer != self.name:
+                self._replicate_to(peer)
+        self._advance_commit()
+        return True
+
+    def _replicate_to(self, peer: str) -> None:
+        next_idx = self._next_index.get(peer, self._global_len)
+        if next_idx < self._offset:
+            # The follower needs entries we compacted away: ship the snapshot.
+            self.send(
+                peer,
+                InstallSnapshot(
+                    term=self.term,
+                    leader=self.name,
+                    last_included_index=self._offset,
+                    last_included_term=self._snapshot_term,
+                    payloads=tuple(self._snapshot),
+                ),
+                size_bytes=256 + 64 * len(self._snapshot),
+                kind="InstallSnapshot",
+            )
+            return
+        entries = tuple(self.log[next_idx - self._offset :])
+        self.send(
+            peer,
+            AppendEntries(
+                term=self.term,
+                leader=self.name,
+                prev_log_index=next_idx,
+                prev_log_term=self._term_at(next_idx),
+                entries=entries,
+                leader_commit=self.commit_index,
+            ),
+            size_bytes=256 + 64 * len(entries),
+            kind="AppendEntries",
+        )
+
+    # -- log compaction -----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold the committed prefix into the snapshot; returns entries
+        compacted. Safe on any role — only committed entries move."""
+        n = self.commit_index - self._offset
+        if n <= 0:
+            return 0
+        moved = self.log[:n]
+        self._snapshot.extend(e.payload for e in moved)
+        self._snapshot_term = moved[-1].term
+        del self.log[:n]
+        return n
+
+    def _on_install_snapshot(self, msg: InstallSnapshot) -> None:
+        self._observe_term(msg.term)
+        if msg.term < self.term:
+            self.send(
+                msg.leader,
+                AppendReply(term=self.term, follower=self.name, success=False, match_index=0),
+                kind="AppendReply",
+            )
+            return
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+        if msg.last_included_index > self.commit_index:
+            # Adopt wholesale: everything we had is a prefix of (or diverges
+            # from) the committed snapshot, which wins by definition.
+            previous_commit = self.commit_index
+            self._snapshot = list(msg.payloads)
+            self._snapshot_term = msg.last_included_term
+            self.log = []
+            self.commit_index = msg.last_included_index
+            for position in range(previous_commit + 1, self.commit_index + 1):
+                self.cluster.notify_commit(
+                    self.name, position, LogEntry(term=msg.last_included_term,
+                                                  payload=self._snapshot[position - 1])
+                )
+        self.send(
+            msg.leader,
+            AppendReply(
+                term=self.term,
+                follower=self.name,
+                success=True,
+                match_index=max(self.commit_index, msg.last_included_index),
+            ),
+            kind="AppendReply",
+        )
+
+    # -- message handling ------------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        payload = msg.payload
+        if isinstance(payload, RequestVote):
+            self._on_request_vote(payload)
+        elif isinstance(payload, VoteReply):
+            self._on_vote_reply(payload)
+        elif isinstance(payload, AppendEntries):
+            self._on_append(payload)
+        elif isinstance(payload, AppendReply):
+            self._on_append_reply(payload)
+        elif isinstance(payload, InstallSnapshot):
+            self._on_install_snapshot(payload)
+
+    def _observe_term(self, term: int) -> None:
+        if term > self.term:
+            self.term = term
+            self.role = Role.FOLLOWER
+            self.voted_for = None
+
+    def _on_request_vote(self, msg: RequestVote) -> None:
+        self._observe_term(msg.term)
+        grant = False
+        if msg.term == self.term and self.voted_for in (None, msg.candidate):
+            up_to_date = (msg.last_log_term, msg.last_log_index) >= (
+                self._last_log_term(),
+                self._global_len,
+            )
+            if up_to_date:
+                grant = True
+                self.voted_for = msg.candidate
+                self._reset_election_timer()
+        self.send(
+            msg.candidate,
+            VoteReply(term=self.term, voter=self.name, granted=grant),
+            kind="VoteReply",
+        )
+
+    def _on_vote_reply(self, msg: VoteReply) -> None:
+        self._observe_term(msg.term)
+        if self.role is Role.CANDIDATE and msg.term == self.term and msg.granted:
+            self._votes.add(msg.voter)
+            self._maybe_win()
+
+    def _on_append(self, msg: AppendEntries) -> None:
+        self._observe_term(msg.term)
+        if msg.term < self.term:
+            self.send(
+                msg.leader,
+                AppendReply(term=self.term, follower=self.name, success=False, match_index=0),
+                kind="AppendReply",
+            )
+            return
+        # Valid leader for our term: stay/become follower, reset timer.
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+        # Consistency check at prev_log_index. Positions at or below our
+        # snapshot boundary are committed, hence consistent by construction.
+        consistent = True
+        if msg.prev_log_index > self._global_len:
+            consistent = False
+        elif msg.prev_log_index > self._offset:
+            consistent = self._term_at(msg.prev_log_index) == msg.prev_log_term
+        if not consistent:
+            self.send(
+                msg.leader,
+                AppendReply(term=self.term, follower=self.name, success=False, match_index=0),
+                kind="AppendReply",
+            )
+            return
+        # Append, truncating any conflicting suffix.
+        position = msg.prev_log_index  # count of entries before the batch
+        for entry in msg.entries:
+            if position < self._offset:
+                position += 1  # already compacted & committed here
+                continue
+            li = position - self._offset
+            if li < len(self.log):
+                if self.log[li].term != entry.term:
+                    del self.log[li:]
+                    self.log.append(entry)
+            else:
+                self.log.append(entry)
+            position += 1
+        if msg.leader_commit > self.commit_index:
+            self._commit_to(min(msg.leader_commit, self._global_len))
+        self.send(
+            msg.leader,
+            AppendReply(
+                term=self.term, follower=self.name, success=True, match_index=position
+            ),
+            kind="AppendReply",
+        )
+
+    def _on_append_reply(self, msg: AppendReply) -> None:
+        self._observe_term(msg.term)
+        if self.role is not Role.LEADER or msg.term != self.term:
+            return
+        if msg.success:
+            self._match_index[msg.follower] = max(
+                self._match_index.get(msg.follower, 0), msg.match_index
+            )
+            self._next_index[msg.follower] = self._match_index[msg.follower]
+            self._advance_commit()
+        else:
+            # Back off and retry one entry earlier.
+            self._next_index[msg.follower] = max(0, self._next_index.get(msg.follower, 1) - 1)
+            self._replicate_to(msg.follower)
+
+    def _advance_commit(self) -> None:
+        """Commit the highest position replicated on a majority in this term."""
+        for n in range(self._global_len, self.commit_index, -1):
+            if self._term_at(n) != self.term:
+                break  # only commit entries from the current term (Raft §5.4.2)
+            replicated = sum(1 for m in self._match_index.values() if m >= n)
+            if replicated >= self.cluster.majority:
+                self._commit_to(n)
+                break
+
+    def _commit_to(self, n: int) -> None:
+        while self.commit_index < n:
+            position = self.commit_index + 1
+            entry = self.log[position - self._offset - 1]
+            self.commit_index += 1
+            self.cluster.notify_commit(self.name, self.commit_index, entry)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def committed_payloads(self) -> list[Any]:
+        live = [e.payload for e in self.log[: self.commit_index - self._offset]]
+        return list(self._snapshot) + live
+
+
+class RaftCluster:
+    """Builds and drives a Raft group on one SimNetwork."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        network: SimNetwork | None = None,
+        seed: int = 0,
+        on_commit: Callable[[str, int, LogEntry], None] | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ConsensusError("Raft needs at least 2 nodes")
+        self.network = network or SimNetwork()
+        self.seed = seed
+        self.node_names = [f"raft-{i}" for i in range(n_nodes)]
+        self._on_commit = on_commit
+        self.leader_changes = 0
+        self.nodes: dict[str, RaftNode] = {
+            name: RaftNode(name, self.network, self) for name in self.node_names
+        }
+
+    @property
+    def majority(self) -> int:
+        return len(self.node_names) // 2 + 1
+
+    def notify_commit(self, node: str, index: int, entry: LogEntry) -> None:
+        if self._on_commit is not None:
+            self._on_commit(node, index, entry)
+
+    def leader(self) -> RaftNode | None:
+        leaders = [
+            n
+            for n in self.nodes.values()
+            if n.role is Role.LEADER and self.network.is_up(n.name)
+        ]
+        if not leaders:
+            return None
+        # With a partition there may be a stale leader; highest term wins.
+        return max(leaders, key=lambda n: n.term)
+
+    def elect(self, max_time: float = 10.0) -> RaftNode:
+        """Run the network until a leader emerges."""
+        deadline = self.network.clock.now() + max_time
+        while self.network.clock.now() < deadline:
+            self.network.run(until=self.network.clock.now() + 0.1)
+            current = self.leader()
+            if current is not None:
+                return current
+        raise ConsensusError("no leader elected within time bound")
+
+    def submit(self, payload: Any, max_time: float = 10.0) -> None:
+        """Propose through the current leader, electing one if needed."""
+        leader = self.leader() or self.elect(max_time=max_time)
+        if not leader.propose(payload):
+            raise ConsensusError("leader lost its role mid-propose")
+
+    def run(self, until: float | None = None) -> None:
+        self.network.run(until=until)
+
+    def committed_payloads(self, node: str | None = None) -> list[Any]:
+        target = self.nodes[node] if node else (self.leader() or self.nodes[self.node_names[0]])
+        return target.committed_payloads()

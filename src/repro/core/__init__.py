@@ -1,0 +1,21 @@
+"""The framework's public API: :class:`Framework` assembles the whole stack
+(Figure 1) and :class:`Client` drives the store and retrieval paths."""
+
+from repro.core.archive import Bundle, BundleEntry, export_bundle, import_bundle
+from repro.core.client import Client, RetrievalResult, SubmissionReceipt
+from repro.core.framework import Framework, FrameworkConfig
+from repro.core.ingest import BatchIngestor, IngestReport
+
+__all__ = [
+    "Client",
+    "RetrievalResult",
+    "SubmissionReceipt",
+    "Framework",
+    "FrameworkConfig",
+    "BatchIngestor",
+    "IngestReport",
+    "Bundle",
+    "BundleEntry",
+    "export_bundle",
+    "import_bundle",
+]

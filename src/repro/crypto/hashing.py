@@ -1,0 +1,45 @@
+"""Hash primitives used across the framework.
+
+SHA-256 is the workhorse: it addresses IPFS blocks (via multihash), chains
+ledger blocks, and anchors provenance records. Helpers here centralize digest
+creation so the choice of function is a single point of configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+SHA2_256 = "sha2-256"
+SHA2_512 = "sha2-512"
+
+_ALGOS = {
+    SHA2_256: hashlib.sha256,
+    SHA2_512: hashlib.sha512,
+}
+
+DIGEST_SIZES = {SHA2_256: 32, SHA2_512: 64}
+
+
+def digest(data: bytes, algo: str = SHA2_256) -> bytes:
+    """Hash ``data`` with the named algorithm and return the raw digest."""
+    try:
+        return _ALGOS[algo](data).digest()
+    except KeyError:
+        raise ValueError(f"unsupported hash algorithm {algo!r}") from None
+
+
+def hexdigest(data: bytes, algo: str = SHA2_256) -> str:
+    """Hex form of :func:`digest`."""
+    return digest(data, algo).hex()
+
+
+def digest_many(parts: Iterable[bytes], algo: str = SHA2_256) -> bytes:
+    """Hash the concatenation of ``parts`` without materializing it."""
+    try:
+        h = _ALGOS[algo]()
+    except KeyError:
+        raise ValueError(f"unsupported hash algorithm {algo!r}") from None
+    for part in parts:
+        h.update(part)
+    return h.digest()

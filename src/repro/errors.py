@@ -1,0 +1,164 @@
+"""Exception hierarchy for the repro framework.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+framework failures without masking programming errors (``TypeError`` etc.).
+The hierarchy mirrors the subsystem layout: crypto, storage (IPFS-like),
+fabric (blockchain), consensus, trust, and query errors each get a branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding / crypto
+# ---------------------------------------------------------------------------
+
+
+class EncodingError(ReproError):
+    """Malformed varint / base58 / multihash / CID input."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class MerkleProofError(CryptoError):
+    """A Merkle inclusion proof failed verification."""
+
+
+# ---------------------------------------------------------------------------
+# Storage (IPFS-like subsystem)
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for content-addressed storage failures."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block CID was not present in any reachable blockstore."""
+
+    def __init__(self, cid: object) -> None:
+        super().__init__(f"block not found: {cid}")
+        self.cid = cid
+
+
+class InvalidBlockError(StorageError):
+    """Block bytes do not hash to the CID they were presented under."""
+
+
+class PinError(StorageError):
+    """Invalid pin/unpin operation (e.g. unpinning a CID never pinned)."""
+
+
+class DagError(StorageError):
+    """Malformed Merkle-DAG node or link structure."""
+
+
+# ---------------------------------------------------------------------------
+# Network simulator
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class NodeUnreachableError(NetworkError):
+    """Destination node is down or partitioned away."""
+
+
+# ---------------------------------------------------------------------------
+# Fabric (HLF-like subsystem)
+# ---------------------------------------------------------------------------
+
+
+class FabricError(ReproError):
+    """Base class for blockchain subsystem failures."""
+
+
+class IdentityError(FabricError):
+    """Unknown, unauthorized, or revoked identity."""
+
+
+class EndorsementError(FabricError):
+    """A transaction proposal failed to gather a satisfying endorsement set."""
+
+
+class ChaincodeError(FabricError):
+    """A chaincode invocation raised or returned an application error."""
+
+
+class ChaincodeNotFoundError(FabricError):
+    """Invoked chaincode name is not installed on the channel."""
+
+
+class AccessDeniedError(FabricError):
+    """The on-chain ACL denies this identity's org access to an entry."""
+
+
+class MVCCConflictError(FabricError):
+    """Read-set version mismatch detected at commit (phantom/stale read)."""
+
+
+class LedgerError(FabricError):
+    """Corrupt or inconsistent ledger structure (broken hash chain etc.)."""
+
+
+class OrderingError(FabricError):
+    """The ordering service rejected or failed to order a transaction."""
+
+
+# ---------------------------------------------------------------------------
+# Consensus
+# ---------------------------------------------------------------------------
+
+
+class ConsensusError(ReproError):
+    """Base class for consensus-protocol failures."""
+
+
+class QuorumNotReachedError(ConsensusError):
+    """Fewer than the required quorum of validators agreed."""
+
+
+class ViewChangeError(ConsensusError):
+    """View change could not complete (too many faulty replicas)."""
+
+
+# ---------------------------------------------------------------------------
+# Trust
+# ---------------------------------------------------------------------------
+
+
+class TrustError(ReproError):
+    """Base class for trust-engine failures."""
+
+
+class UntrustedSourceError(TrustError):
+    """A submission was rejected because the source's trust score is too low."""
+
+
+# ---------------------------------------------------------------------------
+# Query
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-engine failures."""
+
+
+class QueryParseError(QueryError):
+    """The query text could not be parsed."""
+
+
+class IntegrityError(QueryError):
+    """Retrieved off-chain data does not match its on-chain hash/CID."""

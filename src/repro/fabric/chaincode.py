@@ -1,0 +1,295 @@
+"""Chaincode runtime: the smart-contract execution environment.
+
+A chaincode is a Python class whose public methods take a
+:class:`ChaincodeStub` plus string arguments — the same shape as Fabric's
+``ctx.stub`` API the paper's snippets use (``getState``/``putState``/
+``getTxID``/composite keys/history/range queries). The stub runs against a
+*simulation view* of the world state: reads record the observed key version
+into the read set, writes buffer into the write set (visible to subsequent
+reads in the same simulation, never to the live state). The resulting
+:class:`ReadWriteSet` is what endorsement signs and what MVCC validation
+checks at commit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ChaincodeError, ChaincodeNotFoundError
+from repro.fabric.identity import IdentityInfo
+from repro.fabric.privatedata import (
+    CollectionRegistry,
+    PrivateStateStore,
+    private_hash_key,
+    value_hash,
+)
+from repro.fabric.tx import ChaincodeEvent, PrivateWrite, ReadEntry, ReadWriteSet, WriteEntry
+from repro.fabric.worldstate import (
+    WorldState,
+    composite_prefix_range,
+    make_composite_key,
+    split_composite_key,
+)
+
+
+class ChaincodeStub:
+    """The API surface a chaincode sees during one invocation."""
+
+    def __init__(
+        self,
+        world: WorldState,
+        tx_id: str,
+        creator: IdentityInfo,
+        timestamp: float,
+        chaincode_name: str,
+        invoker: Callable[[str, str, list[str], "ChaincodeStub"], str] | None = None,
+        private: PrivateStateStore | None = None,
+        collections: CollectionRegistry | None = None,
+        transient: dict[str, bytes] | None = None,
+    ) -> None:
+        self._world = world
+        self._tx_id = tx_id
+        self._creator = creator
+        self._timestamp = timestamp
+        self._chaincode_name = chaincode_name
+        self._invoker = invoker
+        self._private = private
+        self._collections = collections
+        self._transient = dict(transient or {})
+        self._reads: dict[str, ReadEntry] = {}
+        self._writes: dict[str, WriteEntry] = {}  # insertion-ordered
+        self._private_writes: dict[tuple[str, str], PrivateWrite] = {}
+        self._events: list[ChaincodeEvent] = []
+
+    # -- transaction context ----------------------------------------------------
+
+    def get_tx_id(self) -> str:
+        return self._tx_id
+
+    def get_creator(self) -> IdentityInfo:
+        return self._creator
+
+    def get_timestamp(self) -> float:
+        """Proposal timestamp — chaincode must not read wall clocks, or the
+        endorsers' rwsets would diverge."""
+        return self._timestamp
+
+    def get_transient(self, key: str) -> bytes | None:
+        """Sensitive input passed off-ledger (Fabric's transient map); the
+        standard way to feed values into ``put_private_data``."""
+        return self._transient.get(key)
+
+    # -- state access -----------------------------------------------------------
+
+    def get_state(self, key: str) -> bytes | None:
+        """Read a key: buffered writes win, else the live state (recorded
+        in the read set for MVCC)."""
+        if key in self._writes:
+            entry = self._writes[key]
+            return None if entry.is_delete else entry.value
+        if key not in self._reads:
+            self._reads[key] = ReadEntry(key=key, version=self._world.get_version(key))
+        return self._world.get(key)
+
+    def put_state(self, key: str, value: bytes) -> None:
+        if not key:
+            raise ChaincodeError("cannot put empty key")
+        if not isinstance(value, (bytes, bytearray)):
+            raise ChaincodeError("state values must be bytes")
+        self._writes[key] = WriteEntry(key=key, value=bytes(value), is_delete=False)
+
+    def del_state(self, key: str) -> None:
+        self._writes[key] = WriteEntry(key=key, value=None, is_delete=True)
+
+    def get_state_by_range(self, start: str = "", end: str = "") -> list[tuple[str, bytes]]:
+        """Range scan merging the live state with buffered writes.
+
+        Every returned key is recorded in the read set (phantom protection
+        for the keys actually observed, matching Fabric's range semantics).
+        """
+        live = dict(self._world.range(start, end))
+        for key, entry in self._writes.items():
+            in_range = (not start or key >= start) and (not end or key < end)
+            if not in_range:
+                continue
+            if entry.is_delete:
+                live.pop(key, None)
+            else:
+                live[key] = entry.value  # type: ignore[assignment]
+        out = sorted(live.items())
+        for key, _ in out:
+            if key not in self._writes and key not in self._reads:
+                self._reads[key] = ReadEntry(key=key, version=self._world.get_version(key))
+        return out
+
+    def get_query_result(
+        self, selector_json: str, start: str = "", end: str = "", limit: int | None = None
+    ) -> list[tuple[str, dict]]:
+        """CouchDB-style rich query over the (JSON-valued) state.
+
+        Scans ``[start, end)`` (whole state by default) and returns
+        (key, document) pairs matching the selector. Observed keys join
+        the read set through the underlying range scan, like any state
+        read.
+        """
+        import json as _json
+
+        from repro.fabric.richquery import select
+
+        try:
+            selector = _json.loads(selector_json)
+        except _json.JSONDecodeError as exc:
+            raise ChaincodeError(f"selector is not valid JSON: {exc}") from exc
+        rows = self.get_state_by_range(start, end)
+        return select(rows, selector, limit=limit)
+
+    # -- composite keys ------------------------------------------------------------
+
+    def create_composite_key(self, object_type: str, attributes: list[str]) -> str:
+        return make_composite_key(object_type, attributes)
+
+    def split_composite_key(self, key: str) -> tuple[str, list[str]]:
+        return split_composite_key(key)
+
+    def get_state_by_partial_composite_key(
+        self, object_type: str, attributes: list[str]
+    ) -> list[tuple[str, bytes]]:
+        start, end = composite_prefix_range(object_type, attributes)
+        return self.get_state_by_range(start, end)
+
+    # -- private data (org-scoped collections) -------------------------------------
+
+    def put_private_data(self, collection: str, key: str, value: bytes) -> None:
+        """Write to a private collection: plaintext to member-org side DBs,
+        only its hash onto the public ledger."""
+        if self._collections is None:
+            raise ChaincodeError("private collections are not configured here")
+        self._collections.get(collection)  # validates existence
+        if not key:
+            raise ChaincodeError("cannot put empty private key")
+        if not isinstance(value, (bytes, bytearray)):
+            raise ChaincodeError("private values must be bytes")
+        write = PrivateWrite(collection=collection, key=key, value=bytes(value))
+        self._private_writes[(collection, key)] = write
+        # The endorsed, ordered, block-hashed artifact is the hash write.
+        hash_key = private_hash_key(collection, key)
+        self._writes[hash_key] = WriteEntry(
+            key=hash_key, value=write.value_hash().encode(), is_delete=False
+        )
+
+    def get_private_data(self, collection: str, key: str) -> bytes | None:
+        """Read a private value: buffered writes first, then this peer's
+        side database (raises if the peer's org is not a member)."""
+        if (collection, key) in self._private_writes:
+            return self._private_writes[(collection, key)].value
+        if self._private is None:
+            raise ChaincodeError("this peer holds no private collections")
+        return self._private.store_for(collection).get(key)
+
+    def get_private_data_hash(self, collection: str, key: str) -> str | None:
+        """The on-chain hash of a private value — readable by *any* org,
+        which is how non-members verify disclosed values."""
+        raw = self.get_state(private_hash_key(collection, key))
+        return raw.decode() if raw is not None else None
+
+    def verify_private_disclosure(self, collection: str, key: str, value: bytes) -> bool:
+        """Does a value disclosed off-band match the on-chain hash?"""
+        stored = self.get_private_data_hash(collection, key)
+        return stored is not None and stored == value_hash(value)
+
+    def private_writes(self) -> tuple[PrivateWrite, ...]:
+        return tuple(self._private_writes.values())
+
+    # -- history ----------------------------------------------------------------------
+
+    def get_history_for_key(self, key: str):
+        """Committed history of a key (provenance); not part of the rwset,
+        as in Fabric — history queries are not MVCC-protected."""
+        return self._world.history(key)
+
+    # -- events & cross-chaincode ---------------------------------------------------------
+
+    def set_event(self, name: str, payload: dict | None = None) -> None:
+        self._events.append(
+            ChaincodeEvent(chaincode=self._chaincode_name, name=name, payload=payload or {})
+        )
+
+    def invoke_chaincode(self, chaincode: str, fn: str, args: list[str]) -> str:
+        """Call another chaincode in the same transaction context; its reads
+        and writes merge into this transaction's rwset."""
+        if self._invoker is None:
+            raise ChaincodeError("cross-chaincode invocation not available here")
+        return self._invoker(chaincode, fn, args, self)
+
+    # -- rwset extraction (runtime only) ----------------------------------------------------
+
+    def rwset(self) -> ReadWriteSet:
+        return ReadWriteSet(
+            reads=tuple(sorted(self._reads.values(), key=lambda r: r.key)),
+            writes=tuple(self._writes.values()),
+        )
+
+    def events(self) -> tuple[ChaincodeEvent, ...]:
+        return tuple(self._events)
+
+
+class Chaincode:
+    """Base class for smart contracts.
+
+    Subclasses define public methods ``def my_fn(self, stub, arg1, arg2)``;
+    :meth:`dispatch` routes an invocation by function name. Return values
+    must be JSON-serializable (they are rendered to the response string the
+    endorsement signs).
+    """
+
+    name: str = "chaincode"
+
+    def dispatch(self, stub: ChaincodeStub, fn: str, args: list[str]) -> str:
+        if fn.startswith("_") or not hasattr(self, fn):
+            raise ChaincodeError(f"chaincode {self.name!r} has no function {fn!r}")
+        method = getattr(self, fn)
+        if not callable(method):
+            raise ChaincodeError(f"{fn!r} is not invokable")
+        try:
+            result = method(stub, *args)
+        except ChaincodeError:
+            raise
+        except TypeError as exc:
+            # Wrong arity is an application error, not a framework crash.
+            raise ChaincodeError(f"bad arguments for {self.name}.{fn}: {exc}") from exc
+        return json.dumps(result, sort_keys=True)
+
+
+@dataclass
+class ChaincodeDefinition:
+    """An installed chaincode plus its channel-level endorsement policy."""
+
+    chaincode: Chaincode
+    policy: Any  # repro.fabric.policy.Policy
+
+
+class ChaincodeRegistry:
+    """Chaincodes installed on one peer/channel."""
+
+    def __init__(self) -> None:
+        self._defs: dict[str, ChaincodeDefinition] = {}
+
+    def install(self, definition: ChaincodeDefinition) -> None:
+        name = definition.chaincode.name
+        if name in self._defs:
+            raise ChaincodeError(f"chaincode {name!r} already installed")
+        self._defs[name] = definition
+
+    def get(self, name: str) -> ChaincodeDefinition:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise ChaincodeNotFoundError(f"chaincode {name!r} is not installed") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._defs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs

@@ -1,0 +1,56 @@
+"""Gossip: block dissemination and anti-entropy between peers.
+
+Fabric peers receive blocks either directly from ordering or from other
+peers via gossip; a peer that was offline catches up by pulling missing
+blocks from a healthy neighbour. :func:`sync_peer` replays the missing
+suffix through the normal commit path (so validation codes and world state
+come out identical), and :func:`anti_entropy` runs pairwise sync until all
+online peers converge to the same height.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FabricError, LedgerError
+from repro.fabric.peer import Peer
+
+
+def sync_peer(behind: Peer, ahead: Peer, rejected_by_block: dict[int, frozenset[str]] | None = None) -> int:
+    """Pull blocks ``behind`` is missing from ``ahead``; returns blocks copied.
+
+    ``rejected_by_block`` carries the consensus-rejection sets per block
+    number (empty when the channel uses solo ordering).
+    """
+    if not behind.online:
+        raise FabricError(f"peer {behind.name!r} is offline")
+    copied = 0
+    rejected_by_block = rejected_by_block or {}
+    while behind.ledger.height < ahead.ledger.height:
+        number = behind.ledger.height
+        block = ahead.ledger.block(number)
+        # Re-commit from the raw transactions: the receiving peer re-validates
+        # rather than trusting the sender's annotations.
+        from repro.fabric.ledger import Block
+
+        raw = Block(header=block.header, transactions=block.transactions)
+        recommitted = behind.commit_block(
+            raw, consensus_rejected=rejected_by_block.get(number, frozenset())
+        )
+        if recommitted.validation_codes != block.validation_codes:
+            raise LedgerError(
+                f"peer {behind.name!r} disagrees with {ahead.name!r} on block {number}"
+            )
+        copied += 1
+    return copied
+
+
+def anti_entropy(peers: list[Peer], rejected_by_block: dict[int, frozenset[str]] | None = None) -> int:
+    """Bring every online peer to the maximum height among online peers."""
+    online = [p for p in peers if p.online]
+    if not online:
+        return 0
+    ahead = max(online, key=lambda p: p.ledger.height)
+    total = 0
+    for peer in online:
+        if peer is not ahead:
+            total += sync_peer(peer, ahead, rejected_by_block)
+    return total

@@ -1,0 +1,102 @@
+"""Private data collections: org-scoped confidentiality on a shared ledger.
+
+The paper picks HLF because "it gives participating organizations control
+over data accessibility" — in Fabric that control is *private data
+collections*: named side databases whose contents only member-org peers
+hold, while the public ledger records just a salted-free hash of each
+private write so everyone can audit *that* something was written (and
+verify disclosed values) without seeing *what*.
+
+Flow, mirroring Fabric:
+
+* chaincode calls ``stub.put_private_data(collection, key, value)``;
+* the public read/write set gains a hash write under the collection's
+  hashed-key namespace — that is what gets endorsed, ordered, and hashed
+  into the block;
+* the raw payload rides the transaction envelope out-of-band (Fabric uses
+  transient store + gossip; in-process we attach it to the Transaction,
+  excluded from the envelope hash);
+* at commit, member-org peers verify each payload against the on-chain
+  hash and store it in their side database; non-members store nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ChaincodeError, FabricError
+from repro.fabric.worldstate import WorldState, make_composite_key
+
+# Namespace for on-chain hashes of private writes.
+PVT_HASH_TYPE = "pvt~hash"
+
+
+def private_hash_key(collection: str, key: str) -> str:
+    """The public world-state key holding the hash of a private value."""
+    return make_composite_key(PVT_HASH_TYPE, [collection, key])
+
+
+def value_hash(value: bytes) -> str:
+    return hashlib.sha256(value).hexdigest()
+
+
+@dataclass(frozen=True)
+class PrivateCollection:
+    """A collection definition: who may hold the plaintext."""
+
+    name: str
+    member_orgs: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FabricError("collection name must be non-empty")
+        if not self.member_orgs:
+            raise FabricError(f"collection {self.name!r} needs at least one member org")
+
+    def is_member(self, org: str) -> bool:
+        return org in self.member_orgs
+
+
+@dataclass
+class CollectionRegistry:
+    """Channel-level collection configuration."""
+
+    _collections: dict[str, PrivateCollection] = field(default_factory=dict)
+
+    def define(self, collection: PrivateCollection) -> None:
+        if collection.name in self._collections:
+            raise FabricError(f"collection {collection.name!r} already defined")
+        self._collections[collection.name] = collection
+
+    def get(self, name: str) -> PrivateCollection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise ChaincodeError(f"unknown private collection {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+
+@dataclass
+class PrivateStateStore:
+    """One peer's side databases, one world state per member collection."""
+
+    org: str
+    registry: CollectionRegistry
+    _stores: dict[str, WorldState] = field(default_factory=dict)
+
+    def store_for(self, collection: str) -> WorldState:
+        definition = self.registry.get(collection)
+        if not definition.is_member(self.org):
+            raise ChaincodeError(
+                f"org {self.org!r} is not a member of collection {collection!r}"
+            )
+        return self._stores.setdefault(collection, WorldState())
+
+    def has_collection(self, collection: str) -> bool:
+        return collection in self.registry and self.registry.get(collection).is_member(self.org)

@@ -1,0 +1,110 @@
+"""Rich queries: CouchDB-style selectors over the world state.
+
+Fabric peers backed by CouchDB support JSON selector queries
+(``{"selector": {"tier": "untrusted", "score": {"$lt": 0.5}}}``), and the
+related work the paper builds on (Yan et al.) is exactly about making such
+conditional queries efficient on Fabric. This module implements the
+selector language over our world state, exposed to chaincode through
+``stub.get_query_result`` — values that aren't JSON objects simply never
+match, as in CouchDB.
+
+Supported operators: implicit equality, ``$eq $ne $gt $gte $lt $lte $in
+$nin $exists $regex`` per field, and ``$and $or $not`` combinators.
+Dotted field names reach into nested objects.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.errors import QueryError
+
+
+def _get_field(doc: dict, dotted: str) -> tuple[bool, Any]:
+    current: Any = doc
+    for part in dotted.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return False, None
+        current = current[part]
+    return True, current
+
+
+def _compare(op: str, actual: Any, expected: Any) -> bool:
+    try:
+        if op == "$eq":
+            return actual == expected
+        if op == "$ne":
+            return actual != expected
+        if op == "$gt":
+            return actual > expected
+        if op == "$gte":
+            return actual >= expected
+        if op == "$lt":
+            return actual < expected
+        if op == "$lte":
+            return actual <= expected
+        if op == "$in":
+            return actual in expected
+        if op == "$nin":
+            return actual not in expected
+        if op == "$regex":
+            return isinstance(actual, str) and re.search(expected, actual) is not None
+    except TypeError:
+        return False  # cross-type comparisons never match
+    raise QueryError(f"unknown selector operator {op!r}")
+
+
+def _match_condition(doc: dict, field: str, condition: Any) -> bool:
+    present, actual = _get_field(doc, field)
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        for op, expected in condition.items():
+            if op == "$exists":
+                if bool(expected) != present:
+                    return False
+                continue
+            if not present or not _compare(op, actual, expected):
+                return False
+        return True
+    return present and actual == condition
+
+
+def match_selector(doc: dict, selector: dict) -> bool:
+    """Does ``doc`` satisfy the selector?"""
+    if not isinstance(selector, dict):
+        raise QueryError("selector must be a JSON object")
+    for key, value in selector.items():
+        if key == "$and":
+            if not all(match_selector(doc, s) for s in value):
+                return False
+        elif key == "$or":
+            if not any(match_selector(doc, s) for s in value):
+                return False
+        elif key == "$not":
+            if match_selector(doc, value):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown combinator {key!r}")
+        else:
+            if not _match_condition(doc, key, value):
+                return False
+    return True
+
+
+def select(rows: list[tuple[str, bytes]], selector: dict, limit: int | None = None) -> list[tuple[str, dict]]:
+    """Filter (key, value-bytes) state rows; non-JSON-object values never
+    match. Returns (key, parsed document) pairs."""
+    out: list[tuple[str, dict]] = []
+    for key, raw in rows:
+        try:
+            doc = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if not isinstance(doc, dict):
+            continue
+        if match_selector(doc, selector):
+            out.append((key, doc))
+            if limit is not None and len(out) >= limit:
+                break
+    return out

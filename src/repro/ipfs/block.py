@@ -1,0 +1,37 @@
+"""Blocks: the unit of content-addressed storage.
+
+A block is immutable bytes plus the CID that addresses them. Constructing a
+block computes the CID; receiving a block from an untrusted peer goes through
+:func:`Block.verified`, which recomputes the hash and rejects mismatches —
+the integrity property the paper leans on when it stores CIDs on-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cid import CID, CODEC_RAW
+from repro.errors import InvalidBlockError
+
+
+@dataclass(frozen=True)
+class Block:
+    """Immutable (cid, data) pair with the invariant cid == hash(data)."""
+
+    cid: CID
+    data: bytes
+
+    @classmethod
+    def for_data(cls, data: bytes, codec: int = CODEC_RAW) -> "Block":
+        """Create a block, deriving its CID from the bytes."""
+        return cls(cid=CID.for_data(data, codec=codec), data=bytes(data))
+
+    @classmethod
+    def verified(cls, cid: CID, data: bytes) -> "Block":
+        """Accept a block from an untrusted source only if the hash matches."""
+        if not cid.verifies(data):
+            raise InvalidBlockError(f"data does not hash to {cid}")
+        return cls(cid=cid, data=bytes(data))
+
+    def __len__(self) -> int:
+        return len(self.data)

@@ -1,0 +1,119 @@
+"""UnixFS directories and gateway-style path resolution.
+
+Files alone don't organize a city's footage; IPFS structures content as
+directories — DAG nodes whose *named* links point at files or further
+directories, all content-addressed, so one root CID pins an entire dataset
+layout (``/<root>/cam-03/2026-07-07/frame-000121.raw``). This module adds:
+
+* :func:`add_directory` / :func:`add_tree` — build directory nodes over
+  stored files;
+* :func:`resolve_path` — the gateway operation: walk ``<cid>/a/b/c`` down
+  named links to the target CID;
+* :func:`list_directory` — enumerate an entry's children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cid import CID, CODEC_DAG_JSON
+from repro.errors import DagError
+from repro.ipfs.blockstore import Blockstore
+from repro.ipfs.dag import DagLink, DagNode, DagService
+
+# Payload marker distinguishing directory nodes from file-tree nodes.
+_DIR_NODE_DATA = b"unixfs:dir"
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    name: str
+    cid: CID
+    size: int
+    is_dir: bool
+
+
+def _validate_name(name: str) -> None:
+    if not name or "/" in name:
+        raise DagError(f"invalid directory entry name {name!r}")
+
+
+def add_directory(blockstore: Blockstore, entries: dict[str, tuple[CID, int]]) -> CID:
+    """Create a directory node linking named children.
+
+    ``entries`` maps name → (cid, total size). Names are sorted so the
+    same contents always produce the same directory CID.
+    """
+    links = []
+    for name in sorted(entries):
+        _validate_name(name)
+        cid, size = entries[name]
+        links.append(DagLink(name=name, cid=cid, tsize=size))
+    node = DagNode(data=_DIR_NODE_DATA, links=tuple(links))
+    return DagService(blockstore).put(node)
+
+
+def add_tree(unixfs, tree: dict) -> CID:
+    """Build a nested directory structure from a dict of dicts/bytes.
+
+    ``{"cams": {"a.raw": b"...", "b.raw": b"..."}, "README": b"hi"}``
+    becomes two directory nodes and three files, returning the root CID.
+    """
+    entries: dict[str, tuple[CID, int]] = {}
+    for name, value in tree.items():
+        _validate_name(name)
+        if isinstance(value, dict):
+            child = add_tree(unixfs, value)
+            size = DagService(unixfs.blockstore).get(child).total_size()
+            entries[name] = (child, size)
+        elif isinstance(value, (bytes, bytearray)):
+            result = unixfs.add_file(bytes(value))
+            entries[name] = (result.cid, result.size)
+        else:
+            raise DagError(f"tree values must be bytes or dicts, got {type(value).__name__}")
+    return add_directory(unixfs.blockstore, entries)
+
+
+def is_directory(blockstore: Blockstore, cid: CID) -> bool:
+    if cid.codec != CODEC_DAG_JSON:
+        return False
+    node = DagService(blockstore).get(cid)
+    return node.data == _DIR_NODE_DATA
+
+
+def list_directory(blockstore: Blockstore, cid: CID) -> list[DirEntry]:
+    if not is_directory(blockstore, cid):
+        raise DagError(f"{cid} is not a directory")
+    node = DagService(blockstore).get(cid)
+    out = []
+    for link in node.links:
+        out.append(
+            DirEntry(
+                name=link.name,
+                cid=link.cid,
+                size=link.tsize,
+                is_dir=is_directory(blockstore, link.cid),
+            )
+        )
+    return out
+
+
+def resolve_path(blockstore: Blockstore, path: str) -> CID:
+    """Resolve ``"<cid>/seg/seg"`` (optionally ``/ipfs/``-prefixed) to the
+    target's CID, walking named directory links."""
+    text = path.strip("/")
+    if text.startswith("ipfs/"):
+        text = text[len("ipfs/"):]
+    segments = [s for s in text.split("/") if s]
+    if not segments:
+        raise DagError("empty IPFS path")
+    current = CID.parse(segments[0])
+    for segment in segments[1:]:
+        if not is_directory(blockstore, current):
+            raise DagError(f"cannot descend into non-directory at {segment!r}")
+        node = DagService(blockstore).get(current)
+        match = next((l for l in node.links if l.name == segment), None)
+        if match is None:
+            raise DagError(f"path segment {segment!r} not found")
+        current = match.cid
+    return current

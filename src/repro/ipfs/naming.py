@@ -1,0 +1,128 @@
+"""IPNS-style mutable naming over immutable content.
+
+CIDs are permanent: updating a dataset produces a *new* CID. Consumers
+that need "the latest X" — the current trust-registry export, today's
+camera manifest — follow a *name*: a pointer owned by a keypair, bound to
+a CID by a signed, monotonically-sequenced record. Anyone can verify a
+record against the owner's public key; stale or forged updates are
+rejected, so a name is exactly as trustworthy as its key.
+
+This mirrors IPNS semantics: name = hash of the owner's public key,
+records carry (cid, seq, validity window), highest valid seq wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.cid import CID
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import SignatureError, StorageError
+from repro.util.serialization import canonical_json
+
+
+def name_for_key(public_key: PublicKey) -> str:
+    """The IPNS name owned by a key: hash of the public key, k51-prefixed."""
+    return "k51" + hashlib.sha256(public_key.key_bytes).hexdigest()[:40]
+
+
+@dataclass(frozen=True)
+class IpnsRecord:
+    """A signed name→CID binding."""
+
+    name: str
+    cid: str
+    seq: int
+    valid_from: float
+    valid_until: float
+    public_key_hex: str
+    signature: bytes
+
+    def signing_payload(self) -> bytes:
+        return canonical_json(
+            {
+                "name": self.name,
+                "cid": self.cid,
+                "seq": self.seq,
+                "valid_from": self.valid_from,
+                "valid_until": self.valid_until,
+            }
+        )
+
+    def verify(self) -> None:
+        """Owner key must match the name, and the signature must hold."""
+        public_key = PublicKey.from_hex(self.public_key_hex)
+        if name_for_key(public_key) != self.name:
+            raise SignatureError(f"key does not own name {self.name!r}")
+        public_key.verify(self.signing_payload(), self.signature)
+
+
+def make_record(
+    keypair: KeyPair,
+    cid: CID | str,
+    seq: int,
+    valid_from: float = 0.0,
+    lifetime_s: float = 24 * 3600.0,
+) -> IpnsRecord:
+    """Create and sign a record binding the keypair's name to ``cid``."""
+    cid_str = cid.encode() if isinstance(cid, CID) else cid
+    CID.parse(cid_str)  # validate early
+    name = name_for_key(keypair.public)
+    unsigned = IpnsRecord(
+        name=name,
+        cid=cid_str,
+        seq=seq,
+        valid_from=valid_from,
+        valid_until=valid_from + lifetime_s,
+        public_key_hex=keypair.public.hex(),
+        signature=b"",
+    )
+    signature = keypair.sign(unsigned.signing_payload())
+    return IpnsRecord(
+        name=name,
+        cid=cid_str,
+        seq=seq,
+        valid_from=valid_from,
+        valid_until=unsigned.valid_until,
+        public_key_hex=keypair.public.hex(),
+        signature=signature,
+    )
+
+
+@dataclass
+class NameRegistry:
+    """The resolver's record store (one per node or cluster).
+
+    ``publish`` validates and keeps only the highest-sequence record per
+    name; ``resolve`` returns the bound CID, honoring validity windows.
+    """
+
+    _records: dict[str, IpnsRecord] = field(default_factory=dict)
+
+    def publish(self, record: IpnsRecord) -> None:
+        record.verify()
+        current = self._records.get(record.name)
+        if current is not None and record.seq <= current.seq:
+            raise StorageError(
+                f"stale IPNS update for {record.name!r}: "
+                f"seq {record.seq} <= current {current.seq}"
+            )
+        self._records[record.name] = record
+
+    def resolve(self, name: str, now: float | None = None) -> CID:
+        record = self._records.get(name)
+        if record is None:
+            raise StorageError(f"unknown name {name!r}")
+        if now is not None and not (record.valid_from <= now <= record.valid_until):
+            raise StorageError(f"record for {name!r} is outside its validity window")
+        return CID.parse(record.cid)
+
+    def record_for(self, name: str) -> IpnsRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise StorageError(f"unknown name {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._records)

@@ -1,0 +1,121 @@
+"""UnixFS-like file layer: files as balanced Merkle-DAG trees of chunks.
+
+``add_file`` chunks the payload, stores each chunk as a raw leaf block, and
+builds a fan-out tree of DAG nodes bottom-up (default fan-out 174, matching
+go-ipfs); a single-chunk file is stored as one raw block with no envelope,
+exactly as IPFS does. ``read_file`` walks the tree in order, verifying every
+block hash, and reassembles the bytes. ``file_size`` answers from link
+metadata without touching leaf data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cid import CID, CODEC_DAG_JSON
+from repro.errors import DagError
+from repro.ipfs.block import Block
+from repro.ipfs.blockstore import Blockstore
+from repro.ipfs.chunker import Chunker, FixedSizeChunker
+from repro.ipfs.dag import DagLink, DagNode, DagService
+
+DEFAULT_FANOUT = 174  # go-ipfs balanced-DAG default
+
+# Payload marker distinguishing file-tree interior nodes from other DAG uses.
+_FILE_NODE_DATA = b"unixfs:file"
+
+
+@dataclass(frozen=True)
+class AddResult:
+    """Outcome of adding a file: its root CID and storage accounting."""
+
+    cid: CID
+    size: int
+    n_leaves: int
+    n_nodes: int
+
+
+class UnixFS:
+    """File add/read operations over a blockstore."""
+
+    def __init__(
+        self,
+        blockstore: Blockstore,
+        chunker: Chunker | None = None,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.blockstore = blockstore
+        self.chunker = chunker or FixedSizeChunker()
+        self.fanout = fanout
+        self.dag = DagService(blockstore)
+
+    # -- write path ----------------------------------------------------------
+
+    def add_file(self, data: bytes) -> AddResult:
+        """Store ``data`` and return its root CID."""
+        leaves: list[DagLink] = []
+        n_leaves = 0
+        for chunk in self.chunker.chunks(data):
+            block = Block.for_data(chunk)
+            self.blockstore.put(block)
+            leaves.append(DagLink(name="", cid=block.cid, tsize=len(chunk)))
+            n_leaves += 1
+
+        if len(leaves) == 1:
+            # Single chunk: the raw block itself is the file.
+            return AddResult(cid=leaves[0].cid, size=len(data), n_leaves=1, n_nodes=0)
+
+        level = leaves
+        n_nodes = 0
+        while len(level) > 1:
+            parents: list[DagLink] = []
+            for start in range(0, len(level), self.fanout):
+                group = level[start : start + self.fanout]
+                node = DagNode(data=_FILE_NODE_DATA, links=tuple(group))
+                cid = self.dag.put(node)
+                n_nodes += 1
+                parents.append(
+                    DagLink(name="", cid=cid, tsize=sum(l.tsize for l in group))
+                )
+            level = parents
+        return AddResult(cid=level[0].cid, size=len(data), n_leaves=n_leaves, n_nodes=n_nodes)
+
+    # -- read path -----------------------------------------------------------
+
+    def read_file(self, root: CID) -> bytes:
+        """Reassemble a file from its root CID, verifying every block."""
+        out = bytearray()
+        self._read_into(root, out)
+        return bytes(out)
+
+    def _read_into(self, cid: CID, out: bytearray) -> None:
+        if cid.codec == CODEC_DAG_JSON:
+            node = self.dag.get(cid)
+            if node.data != _FILE_NODE_DATA:
+                raise DagError(f"{cid} is not a UnixFS file node")
+            for link in node.links:
+                self._read_into(link.cid, out)
+        else:
+            block = self.blockstore.get(cid)
+            if not cid.verifies(block.data):  # pragma: no cover - store verifies
+                raise DagError(f"leaf block {cid} failed verification")
+            out.extend(block.data)
+
+    def file_size(self, root: CID) -> int:
+        """File size from link metadata alone (no leaf reads)."""
+        if root.codec != CODEC_DAG_JSON:
+            return len(self.blockstore.get(root).data)
+        node = self.dag.get(root)
+        return sum(l.tsize for l in node.links)
+
+    def leaf_cids(self, root: CID) -> list[CID]:
+        """CIDs of the raw chunks, in file order."""
+        if root.codec != CODEC_DAG_JSON:
+            return [root]
+        node = self.dag.get(root)
+        out: list[CID] = []
+        for link in node.links:
+            out.extend(self.leaf_cids(link.cid))
+        return out

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event network simulator: the substrate under BFT
+consensus rounds and bitswap block exchange."""
+
+from repro.net.latency import (
+    ConstantLatency,
+    JitterLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PairwiseLatency,
+)
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.simnet import NetStats, SimNetwork
+from repro.net.trace import MessageTrace, TraceEntry
+
+__all__ = [
+    "ConstantLatency",
+    "JitterLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "PairwiseLatency",
+    "Message",
+    "NetNode",
+    "NetStats",
+    "SimNetwork",
+    "MessageTrace",
+    "TraceEntry",
+]

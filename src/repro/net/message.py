@@ -1,0 +1,27 @@
+"""Message envelope carried by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message between two named nodes.
+
+    ``payload`` is an arbitrary Python object (the simulator is in-process,
+    so no wire serialization is required), but ``size_bytes`` drives the
+    bandwidth model and must reflect the logical wire size of the payload.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int = 256
+    kind: str = "msg"
+    send_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")

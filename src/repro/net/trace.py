@@ -1,0 +1,91 @@
+"""Message tracing: observability for the simulated network.
+
+A :class:`MessageTrace` taps a :class:`~repro.net.SimNetwork` and records
+every delivered message with its simulated timestamp. Protocol analyses
+read the trace instead of instrumenting protocol code: message counts per
+kind (the O(n²) check on PBFT phases), byte volume per link, and a
+rendered timeline for debugging consensus interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    time: float
+    src: str
+    dst: str
+    kind: str
+    size_bytes: int
+
+
+@dataclass
+class MessageTrace:
+    """Recording tap over one network's deliveries."""
+
+    network: SimNetwork
+    entries: list[TraceEntry] = field(default_factory=list)
+    _attached: bool = False
+
+    def __post_init__(self) -> None:
+        self.attach()
+
+    def attach(self) -> None:
+        if not self._attached:
+            self.network.taps.append(self._record)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.network.taps.remove(self._record)
+            self._attached = False
+
+    def _record(self, msg: Message) -> None:
+        self.entries.append(
+            TraceEntry(
+                time=self.network.clock.now(),
+                src=msg.src,
+                dst=msg.dst,
+                kind=msg.kind,
+                size_bytes=msg.size_bytes,
+            )
+        )
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # -- analysis ---------------------------------------------------------------
+
+    def count_by_kind(self) -> dict[str, int]:
+        return dict(Counter(e.kind for e in self.entries))
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        out: Counter = Counter()
+        for e in self.entries:
+            out[e.kind] += e.size_bytes
+        return dict(out)
+
+    def pair_matrix(self) -> dict[tuple[str, str], int]:
+        return dict(Counter((e.src, e.dst) for e in self.entries))
+
+    def between(self, start: float, end: float) -> list[TraceEntry]:
+        return [e for e in self.entries if start <= e.time < end]
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable delivery timeline (first ``limit`` entries)."""
+        lines = [
+            f"{e.time:10.6f}s  {e.src:>14} -> {e.dst:<14} {e.kind} ({e.size_bytes} B)"
+            for e in self.entries[:limit]
+        ]
+        if len(self.entries) > limit:
+            lines.append(f"… {len(self.entries) - limit} more")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,187 @@
+"""Query AST: filter expressions over on-chain metadata records.
+
+Records are the JSON documents the Data Upload chaincode stores (Figure 2
+metadata plus envelope fields). Field paths use dots into nested objects
+(``metadata.timestamp``, ``metadata.location.lat``); the special path
+``vehicle_class`` matches any detection in the record — the common "frames
+containing a truck" query shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryError
+
+# Paths that quantify over an array of sub-records rather than a scalar:
+# the predicate matches when ANY element matches.
+ARRAY_PATHS = {
+    "vehicle_class": "metadata.detections",
+    "color": "metadata.detections",
+    "violation_type": "metadata.violations",
+}
+# Backwards-compatible alias (original name for the detections subset).
+DETECTION_PATHS = set(ARRAY_PATHS)
+
+
+def get_path(record: dict, path: str) -> Any:
+    """Resolve a dotted path; missing segments yield None."""
+    current: Any = record
+    for part in path.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return None
+        current = current[part]
+    return current
+
+
+class Expr:
+    """Base filter expression."""
+
+    def matches(self, record: dict) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    field: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryError(f"unknown operator {self.op!r}")
+
+    def matches(self, record: dict) -> bool:
+        if self.field in ARRAY_PATHS:
+            elements = get_path(record, ARRAY_PATHS[self.field]) or []
+            return any(self._cmp(e.get(self.field)) for e in elements)
+        return self._cmp(get_path(record, self.field))
+
+    def _cmp(self, actual: Any) -> bool:
+        if actual is None:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False  # cross-type comparisons never match
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    field: str
+    values: tuple[Any, ...]
+
+    def matches(self, record: dict) -> bool:
+        if self.field in ARRAY_PATHS:
+            elements = get_path(record, ARRAY_PATHS[self.field]) or []
+            return any(e.get(self.field) in self.values for e in elements)
+        return get_path(record, self.field) in self.values
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    parts: tuple[Expr, ...]
+
+    def matches(self, record: dict) -> bool:
+        return all(p.matches(record) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    parts: tuple[Expr, ...]
+
+    def matches(self, record: dict) -> bool:
+        return any(p.matches(record) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    inner: Expr
+
+    def matches(self, record: dict) -> bool:
+        return not self.inner.matches(record)
+
+
+@dataclass(frozen=True)
+class TrueExpr(Expr):
+    """Matches everything (empty WHERE clause)."""
+
+    def matches(self, record: dict) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete query: projection + filter + ordering + limit."""
+
+    where: Expr = field(default_factory=TrueExpr)
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+    # Projection: dotted paths to keep; None = whole records. entry_id and
+    # cid are always preserved so results stay retrievable.
+    select: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("limit must be non-negative")
+        if self.select is not None and not self.select:
+            raise QueryError("SELECT needs at least one field")
+
+    def apply_post(self, records: list[dict]) -> list[dict]:
+        """Ordering, limit, and projection, applied after filtering."""
+        out = records
+        if self.order_by is not None:
+            path = self.order_by
+            out = sorted(
+                out,
+                key=lambda r: (get_path(r, path) is None, get_path(r, path)),
+                reverse=self.descending,
+            )
+        if self.limit is not None:
+            out = out[: self.limit]
+        if self.select is not None:
+            out = [self._project(r) for r in out]
+        return out
+
+    def _project(self, record: dict) -> dict:
+        projected: dict = {}
+        for path in ("entry_id", "cid"):
+            if path in record:
+                projected[path] = record[path]
+        for path in self.select or ():
+            value = get_path(record, path)
+            if value is not None:
+                _set_path(projected, path, value)
+        return projected
+
+
+def _set_path(doc: dict, path: str, value) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        current = current.setdefault(part, {})
+    current[parts[-1]] = value
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten top-level ANDs — what the planner inspects for index use."""
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for part in expr.parts:
+            out.extend(conjuncts(part))
+        return out
+    if isinstance(expr, TrueExpr):
+        return []
+    return [expr]

@@ -1,0 +1,165 @@
+"""Query engine: the paper's hybrid on-chain / off-chain retrieval path.
+
+Figure 1's retrieval flow (Ⓐ–Ⓓ): the user's query goes to the query
+processor, which routes the metadata part to the *blockchain query
+executor* (a chaincode read on a peer — no ordering, no consensus cost)
+and, when raw data is requested, the CID part to the *database query
+executor* (an IPFS fetch). Every fetched payload is verified against the
+on-chain record twice over — the CID must hash-match the bytes (content
+addressing) and the stored SHA-256 ``data_hash`` must match as well — the
+"verification of retrieved data against its metadata stored on the
+blockchain" the paper guarantees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.cid import CID
+from repro.errors import IntegrityError, QueryError
+from repro.fabric.channel import Channel
+from repro.fabric.identity import Identity
+from repro.ipfs.cluster import IpfsCluster
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+from repro.query.planner import Plan, plan_query
+
+
+@dataclass(frozen=True)
+class QueryRow:
+    """One result: the on-chain record, optionally joined with raw bytes."""
+
+    record: dict
+    data: bytes | None = None
+    verified: bool = False
+
+    @property
+    def entry_id(self) -> str:
+        return self.record["entry_id"]
+
+    @property
+    def cid(self) -> str:
+        return self.record["cid"]
+
+
+@dataclass
+class QueryStats:
+    queries: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_fetched: int = 0
+    integrity_checks: int = 0
+    cache_hits: int = 0
+
+
+@dataclass
+class QueryEngine:
+    """Routes queries across the blockchain and IPFS executors."""
+
+    channel: Channel
+    cluster: IpfsCluster
+    identity: Identity
+    retrieval_chaincode: str = "data_retrieval"
+    stats: QueryStats = field(default_factory=QueryStats)
+    # Metadata-only results cached per query text, valid while the chain
+    # height is unchanged (any new block may contain new matching records).
+    cache_enabled: bool = True
+    _cache: dict[str, tuple[int, list["QueryRow"]]] = field(default_factory=dict)
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self, query: Query | str) -> Plan:
+        if isinstance(query, str):
+            query = parse_query(query)
+        return plan_query(query)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        query: Query | str,
+        fetch_data: bool = False,
+        verify: bool = True,
+    ) -> list[QueryRow]:
+        """Execute a query; optionally join raw IPFS data per row.
+
+        Metadata-only results (``fetch_data=False``) are cached per query
+        text while the chain height is unchanged — reads are the hot path
+        of the paper's retrieval story, and an unchanged chain cannot
+        change their answer.
+        """
+        cache_key = None
+        if self.cache_enabled and not fetch_data and isinstance(query, str):
+            cache_key = query
+            cached = self._cache.get(cache_key)
+            if cached is not None and cached[0] == self.channel.height():
+                self.stats.cache_hits += 1
+                self.stats.queries += 1
+                return list(cached[1])
+        if isinstance(query, str):
+            query = parse_query(query)
+        plan = plan_query(query)
+        candidates = self._execute_paths(plan)
+        self.stats.queries += 1
+        self.stats.rows_scanned += len(candidates)
+        matched = [r for r in candidates if plan.residual.matches(r)]
+        matched = query.apply_post(matched)
+        rows = []
+        for record in matched:
+            data, verified = None, False
+            if fetch_data:
+                data = self.fetch_payload(record, verify=verify)
+                verified = verify
+            rows.append(QueryRow(record=record, data=data, verified=verified))
+        self.stats.rows_returned += len(rows)
+        if cache_key is not None:
+            self._cache[cache_key] = (self.channel.height(), list(rows))
+        return rows
+
+    def _execute_paths(self, plan: Plan) -> list[dict]:
+        seen: set[str] = set()
+        out: list[dict] = []
+        for path in plan.paths:
+            raw = self.channel.query(
+                self.identity, self.retrieval_chaincode, path.fn, list(path.args)
+            )
+            for record in json.loads(raw):
+                entry_id = record.get("entry_id")
+                if entry_id is None or entry_id in seen:
+                    continue
+                seen.add(entry_id)
+                out.append(record)
+        return out
+
+    # -- point lookups ---------------------------------------------------------------
+
+    def get(self, entry_id: str, fetch_data: bool = False, verify: bool = True) -> QueryRow:
+        raw = self.channel.query(
+            self.identity, self.retrieval_chaincode, "get_data", [entry_id]
+        )
+        record = json.loads(raw)
+        data = self.fetch_payload(record, verify=verify) if fetch_data else None
+        return QueryRow(record=record, data=data, verified=fetch_data and verify)
+
+    # -- the off-chain executor ----------------------------------------------------------
+
+    def fetch_payload(self, record: dict, verify: bool = True) -> bytes:
+        """Fetch the raw bytes for a record from IPFS and verify integrity."""
+        try:
+            cid = CID.parse(record["cid"])
+        except KeyError:
+            raise QueryError("record has no CID") from None
+        data = self.cluster.cat(cid)
+        self.stats.bytes_fetched += len(data)
+        if verify:
+            self.stats.integrity_checks += 1
+            stored_hash = record.get("data_hash")
+            actual = hashlib.sha256(data).hexdigest()
+            if stored_hash is not None and actual != stored_hash:
+                raise IntegrityError(
+                    f"data for entry {record.get('entry_id')} does not match the "
+                    f"on-chain hash (expected {stored_hash[:12]}…, got {actual[:12]}…)"
+                )
+        return data

@@ -1,0 +1,200 @@
+"""Parser for the framework's small query language.
+
+Grammar (case-insensitive keywords)::
+
+    query   := [ "SELECT" field { "," field } ]
+               [ "WHERE" ] [ or_expr ]
+               [ "ORDER" "BY" field [ "ASC" | "DESC" ] ]
+               [ "LIMIT" int ]
+    or_expr := and_expr { "OR" and_expr }
+    and_expr:= unary { "AND" unary }
+    unary   := "NOT" unary | "(" or_expr ")" | comparison
+    comparison := field op value | field "IN" "(" value {"," value} ")"
+    op      := "=" | "!=" | ">" | ">=" | "<" | "<="
+    value   := 'string' | number | true | false
+
+Examples the examples/ scripts run::
+
+    camera_id = 'cam-07' AND metadata.timestamp >= 1000
+    vehicle_class IN ('truck', 'bus') ORDER BY metadata.timestamp DESC LIMIT 5
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryParseError
+from repro.query.ast import And, Compare, Expr, InSet, Not, Or, Query, TrueExpr
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op>>=|<=|!=|=|>|<)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.~-]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "where", "and", "or", "not", "in", "order", "by", "asc", "desc",
+    "limit", "true", "false",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryParseError(f"cannot tokenize query at: {remainder[:20]!r}")
+        pos = match.end()
+        for kind, value in match.groupdict().items():
+            if value is not None:
+                if kind == "word" and value.lower() in _KEYWORDS:
+                    tokens.append(_Token("keyword", value.lower()))
+                else:
+                    tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> str | None:
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and token.text in words:
+            self.pos += 1
+            return token.text
+        return None
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise QueryParseError(f"expected {kind}, got {token.text!r}")
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        select: tuple[str, ...] | None = None
+        if self.accept_keyword("select"):
+            fields = [self.expect("word").text]
+            while self.peek() is not None and self.peek().kind == "comma":
+                self.next()
+                fields.append(self.expect("word").text)
+            select = tuple(fields)
+        self.accept_keyword("where")
+        where: Expr = TrueExpr()
+        token = self.peek()
+        if token is not None and not (token.kind == "keyword" and token.text in ("order", "limit")):
+            where = self.parse_or()
+        order_by = None
+        descending = False
+        if self.accept_keyword("order"):
+            if not self.accept_keyword("by"):
+                raise QueryParseError("ORDER must be followed by BY")
+            order_by = self.expect("word").text
+            if self.accept_keyword("desc"):
+                descending = True
+            else:
+                self.accept_keyword("asc")
+        limit = None
+        if self.accept_keyword("limit"):
+            limit_token = self.expect("number")
+            if "." in limit_token.text:
+                raise QueryParseError("LIMIT must be an integer")
+            limit = int(limit_token.text)
+        if self.peek() is not None:
+            raise QueryParseError(f"trailing input at {self.peek().text!r}")
+        return Query(
+            where=where,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            select=select,
+        )
+
+    def parse_or(self) -> Expr:
+        parts = [self.parse_and()]
+        while self.accept_keyword("or"):
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and(self) -> Expr:
+        parts = [self.parse_unary()]
+        while self.accept_keyword("and"):
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_unary(self) -> Expr:
+        if self.accept_keyword("not"):
+            return Not(self.parse_unary())
+        token = self.peek()
+        if token is not None and token.kind == "lparen":
+            self.next()
+            inner = self.parse_or()
+            self.expect("rparen")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        field = self.expect("word").text
+        if self.accept_keyword("in"):
+            self.expect("lparen")
+            values = [self.parse_value()]
+            while self.peek() is not None and self.peek().kind == "comma":
+                self.next()
+                values.append(self.parse_value())
+            self.expect("rparen")
+            return InSet(field=field, values=tuple(values))
+        op_token = self.next()
+        if op_token.kind != "op":
+            raise QueryParseError(f"expected comparison operator, got {op_token.text!r}")
+        return Compare(field=field, op=op_token.text, value=self.parse_value())
+
+    def parse_value(self):
+        token = self.next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("\\'", "'")
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return token.text == "true"
+        raise QueryParseError(f"expected a value, got {token.text!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`repro.query.ast.Query`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return Query()
+    return _Parser(tokens).parse_query()

@@ -1,0 +1,174 @@
+"""Anomaly detection and multi-source consensus for trust scoring.
+
+The paper's future work names exactly these: "enhancing trust scoring with
+advanced techniques like multi-source consensus and anomaly detection."
+Both stay in the paper's low-compute spirit — robust statistics, no ML:
+
+* :class:`AnomalyDetector` — per-source sliding windows with robust
+  z-scores (median/MAD, insensitive to the outliers being hunted) over the
+  reported vehicle counts, plus burst detection on the reporting rate. A
+  source that suddenly reports 40 trucks, or floods ten reports a second,
+  is flagged before its data ever reaches cross-validation.
+* :class:`MultiSourceConsensus` — when several independent sources cover
+  the same spatio-temporal cell, the per-class median is the consensus and
+  relative deviation from it marks outlier sources. Unlike cross-validation
+  (which needs a *trusted* anchor), this works among untrusted peers, as
+  long as most are honest — the same 2/3-style honesty assumption the
+  chain's validators already make.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrustError
+from repro.trust.crossval import Observation
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    source_id: str
+    is_anomalous: bool
+    max_z: float
+    reasons: tuple[str, ...]
+
+
+@dataclass
+class AnomalyDetector:
+    """Per-source robust anomaly scoring over a sliding window."""
+
+    window: int = 50
+    z_threshold: float = 4.0
+    burst_window_s: float = 10.0
+    burst_max_reports: int = 20
+    min_history: int = 8  # below this, everything passes (no baseline yet)
+    _counts: dict[str, deque] = field(default_factory=dict)
+    _times: dict[str, deque] = field(default_factory=dict)
+
+    def observe(self, obs: Observation) -> AnomalyReport:
+        """Score an observation against the source's own history, then add
+        it to the window."""
+        counts = self._counts.setdefault(obs.source_id, deque(maxlen=self.window))
+        times = self._times.setdefault(obs.source_id, deque(maxlen=self.window))
+        report = self._score(obs, counts, times)
+        counts.append(dict(obs.counts))
+        times.append(obs.timestamp)
+        return report
+
+    def _score(self, obs: Observation, counts, times) -> AnomalyReport:
+        reasons: list[str] = []
+        max_z = 0.0
+        if len(counts) >= self.min_history:
+            classes = set(obs.counts)
+            for record in counts:
+                classes |= set(record)
+            for cls in sorted(classes):
+                history = np.array([r.get(cls, 0) for r in counts], dtype=float)
+                value = float(obs.counts.get(cls, 0))
+                median = float(np.median(history))
+                mad = float(np.median(np.abs(history - median)))
+                scale = 1.4826 * mad if mad > 0 else 1.0  # MAD→σ under normality
+                z = abs(value - median) / scale
+                max_z = max(max_z, z)
+                if z > self.z_threshold:
+                    reasons.append(
+                        f"count[{cls}]={value:.0f} deviates from median "
+                        f"{median:.0f} (robust z={z:.1f})"
+                    )
+        # Burst detection needs no baseline: rate limits are absolute.
+        recent = sum(1 for t in times if obs.timestamp - t <= self.burst_window_s)
+        if recent >= self.burst_max_reports:
+            reasons.append(
+                f"{recent} reports within {self.burst_window_s:.0f}s (burst)"
+            )
+        return AnomalyReport(
+            source_id=obs.source_id,
+            is_anomalous=bool(reasons),
+            max_z=max_z,
+            reasons=tuple(reasons),
+        )
+
+    def history_len(self, source_id: str) -> int:
+        return len(self._counts.get(source_id, ()))
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    consensus_counts: dict[str, float]
+    deviations: dict[str, float]  # source -> relative deviation from consensus
+    outliers: tuple[str, ...]
+    n_sources: int
+
+
+@dataclass
+class MultiSourceConsensus:
+    """Median-based agreement among co-located observations."""
+
+    outlier_threshold: float = 0.5  # relative deviation beyond which = outlier
+    min_sources: int = 3
+
+    def evaluate(self, observations: list[Observation]) -> ConsensusResult:
+        """Consensus over one spatio-temporal cell's observations.
+
+        Requires ``min_sources`` *distinct* sources — two reporters cannot
+        outvote each other meaningfully.
+        """
+        by_source: dict[str, Observation] = {}
+        for obs in observations:
+            by_source[obs.source_id] = obs  # latest per source wins
+        if len(by_source) < self.min_sources:
+            raise TrustError(
+                f"multi-source consensus needs >= {self.min_sources} sources, "
+                f"got {len(by_source)}"
+            )
+        classes = sorted({cls for obs in by_source.values() for cls in obs.counts})
+        consensus = {
+            cls: float(np.median([obs.counts.get(cls, 0) for obs in by_source.values()]))
+            for cls in classes
+        }
+        deviations: dict[str, float] = {}
+        for source_id, obs in sorted(by_source.items()):
+            if not classes:
+                deviations[source_id] = 0.0
+                continue
+            rel = []
+            for cls in classes:
+                expected = consensus[cls]
+                actual = float(obs.counts.get(cls, 0))
+                denom = max(expected, 1.0)
+                rel.append(abs(actual - expected) / denom)
+            deviations[source_id] = float(np.mean(rel))
+        outliers = tuple(
+            s for s, d in deviations.items() if d > self.outlier_threshold
+        )
+        return ConsensusResult(
+            consensus_counts=consensus,
+            deviations=deviations,
+            outliers=outliers,
+            n_sources=len(by_source),
+        )
+
+    def apply_to_trust(self, engine, result: ConsensusResult) -> dict[str, float]:
+        """Fold a consensus round into the trust engine: outliers take a
+        rejected observation, the agreeing majority takes an accepted one.
+        Returns the new scores of the untrusted sources touched."""
+        from repro.trust.engine import SourceTier
+
+        updated: dict[str, float] = {}
+        for source_id, deviation in result.deviations.items():
+            if not engine.is_registered(source_id):
+                continue
+            if engine.tier(source_id) is SourceTier.TRUSTED:
+                continue
+            agreeing = source_id not in result.outliers
+            agree_count = result.n_sources - len(result.outliers)
+            updated[source_id] = engine.record_validation(
+                source_id,
+                accepted=agreeing,
+                valid_votes=agree_count if agreeing else len(result.outliers),
+                invalid_votes=len(result.outliers) if agreeing else agree_count,
+            )
+        return updated

@@ -1,0 +1,196 @@
+"""The trust engine: per-source scoring, tiering, and admission decisions.
+
+This is the component Figure 1 labels "trust score … assessed for untrusted
+sources": the framework consults it before accepting a submission
+(quarantined sources need extra corroboration) and updates it after the
+validators vote. Trusted-tier sources (traffic cameras, drones — paper §III)
+are registered as such and bypass scoring, but their observations feed the
+cross-validator as ground truth for everyone else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import TrustError
+from repro.trust.crossval import CrossValidator, Observation, endorsement_score
+from repro.trust.score import TrustScore, TrustWeights
+
+
+class SourceTier(str, Enum):
+    TRUSTED = "trusted"        # institutional: cameras, drones, city sensors
+    UNTRUSTED = "untrusted"    # crowd-sourced: mobiles, social media
+    QUARANTINED = "quarantined"  # score fell below the floor
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What validation a submission must pass before it is recorded."""
+
+    admitted: bool
+    tier: SourceTier
+    trust: float
+    requires_corroboration: bool
+    reason: str
+
+
+@dataclass
+class TrustEngine:
+    trusted_threshold: float = 0.75   # above: treated like the trusted tier
+    min_threshold: float = 0.25       # below: quarantined
+    weights: TrustWeights = field(default_factory=TrustWeights)
+    cross_validator: CrossValidator = field(default_factory=CrossValidator)
+    _scores: dict[str, TrustScore] = field(default_factory=dict)
+    _tiers: dict[str, SourceTier] = field(default_factory=dict)
+    _last_seen: dict[str, float] = field(default_factory=dict)
+
+    # -- registration ------------------------------------------------------------
+
+    def register_source(self, source_id: str, tier: SourceTier = SourceTier.UNTRUSTED) -> None:
+        if source_id in self._tiers:
+            raise TrustError(f"source {source_id!r} already registered")
+        if tier is SourceTier.QUARANTINED:
+            raise TrustError("cannot register a source directly into quarantine")
+        self._tiers[source_id] = tier
+        if tier is SourceTier.UNTRUSTED:
+            self._scores[source_id] = TrustScore(source_id=source_id, weights=self.weights)
+
+    def is_registered(self, source_id: str) -> bool:
+        return source_id in self._tiers
+
+    def tier(self, source_id: str) -> SourceTier:
+        try:
+            return self._tiers[source_id]
+        except KeyError:
+            raise TrustError(f"unknown source {source_id!r}") from None
+
+    def score(self, source_id: str) -> float:
+        if self.tier(source_id) is SourceTier.TRUSTED:
+            return 1.0
+        return self._scores[source_id].value
+
+    # -- admission --------------------------------------------------------------------
+
+    def admit(self, source_id: str) -> AdmissionDecision:
+        """Gate a submission before validation (paper Figure 1, step ②)."""
+        tier = self.tier(source_id)
+        if tier is SourceTier.TRUSTED:
+            return AdmissionDecision(
+                admitted=True,
+                tier=tier,
+                trust=1.0,
+                requires_corroboration=False,
+                reason="trusted-tier source",
+            )
+        value = self._scores[source_id].value
+        if tier is SourceTier.QUARANTINED:
+            return AdmissionDecision(
+                admitted=False,
+                tier=tier,
+                trust=value,
+                requires_corroboration=True,
+                reason="source is quarantined pending corroborated submissions",
+            )
+        return AdmissionDecision(
+            admitted=True,
+            tier=tier,
+            trust=value,
+            requires_corroboration=value < self.trusted_threshold,
+            reason="untrusted source admitted with validation",
+        )
+
+    # -- updates ------------------------------------------------------------------------
+
+    def observe_trusted(self, obs: Observation) -> None:
+        """Feed a trusted-tier observation into the cross-validation window."""
+        if self.tier(obs.source_id) is not SourceTier.TRUSTED:
+            raise TrustError(f"{obs.source_id!r} is not a trusted-tier source")
+        self.cross_validator.add_trusted(obs)
+
+    def cross_validate(self, obs: Observation) -> float:
+        return self.cross_validator.score(obs)
+
+    def record_validation(
+        self,
+        source_id: str,
+        accepted: bool,
+        valid_votes: int,
+        invalid_votes: int,
+        observation: Observation | None = None,
+        now: float | None = None,
+    ) -> float:
+        """Fold a consensus outcome into the source's score; returns it.
+
+        Quarantine / release transitions happen here: a source whose score
+        crosses ``min_threshold`` downward is quarantined; a quarantined
+        source that accumulates corroborated accepts is released. ``now``
+        (optional) stamps the source's last activity for staleness decay.
+        """
+        tier = self.tier(source_id)
+        if now is not None:
+            self._last_seen[source_id] = now
+        if tier is SourceTier.TRUSTED:
+            return 1.0
+        trust = self._scores[source_id]
+        cross = self.cross_validate(observation) if observation is not None else None
+        endorse = endorsement_score(valid_votes, invalid_votes)
+        value = trust.update(accepted, cross_validation=cross, endorsement=endorse)
+        if value < self.min_threshold:
+            self._tiers[source_id] = SourceTier.QUARANTINED
+        elif tier is SourceTier.QUARANTINED and value >= self.min_threshold * 2:
+            self._tiers[source_id] = SourceTier.UNTRUSTED
+        return value
+
+    def record_corroborated_accept(self, source_id: str, cross_validation: float) -> float:
+        """Extra-validation path for quarantined sources: an accept backed by
+        strong trusted corroboration counts toward release."""
+        if self.tier(source_id) is SourceTier.TRUSTED:
+            return 1.0
+        if cross_validation < 0.5:
+            raise TrustError("corroborated accept requires cross-validation >= 0.5")
+        trust = self._scores[source_id]
+        value = trust.update(True, cross_validation=cross_validation)
+        if (
+            self._tiers[source_id] is SourceTier.QUARANTINED
+            and value >= self.min_threshold * 2
+        ):
+            self._tiers[source_id] = SourceTier.UNTRUSTED
+        return value
+
+    # -- staleness --------------------------------------------------------------------
+
+    def apply_time_decay(self, now: float, half_life_s: float = 7 * 86400.0) -> dict[str, float]:
+        """Fade idle untrusted sources toward neutral: a reputation earned
+        months ago (good or bad) should not count as fresh evidence.
+
+        Decay never *releases* quarantine — a bad actor cannot wait out its
+        sentence; release requires corroborated accepts. Returns the new
+        score of every source that decayed.
+        """
+        if half_life_s <= 0:
+            raise TrustError("half_life_s must be positive")
+        updated: dict[str, float] = {}
+        for source_id, trust in self._scores.items():
+            last = self._last_seen.get(source_id)
+            if last is None or now <= last:
+                continue
+            factor = 0.5 ** ((now - last) / half_life_s)
+            updated[source_id] = trust.decay_toward_neutral(factor)
+            self._last_seen[source_id] = now
+        return updated
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def chain_record(self, source_id: str) -> dict:
+        tier = self.tier(source_id)
+        if tier is SourceTier.TRUSTED:
+            return {"source_id": source_id, "tier": tier.value, "score": 1.0}
+        record = self._scores[source_id].to_chain_record()
+        record["tier"] = tier.value
+        return record
+
+    def sources(self, tier: SourceTier | None = None) -> list[str]:
+        if tier is None:
+            return sorted(self._tiers)
+        return sorted(s for s, t in self._tiers.items() if t is tier)

@@ -1,0 +1,100 @@
+"""Validator accountability: flagging and removing misbehaving validators.
+
+Paper §III-A: "Validators that repeatedly act against the consensus rules
+(e.g., by endorsing invalid transactions) are flagged and removed from the
+validator pool." After each consensus decision the pool compares every
+validator's vote against the quorum outcome; a validator whose recent
+disagreement rate crosses the flagging threshold is flagged, and repeated
+flags lead to removal. Silent validators (no vote in the deciding quorum)
+accrue absence strikes the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TrustError
+
+
+@dataclass
+class ValidatorRecord:
+    name: str
+    votes: int = 0
+    disagreements: int = 0
+    absences: int = 0
+    flags: int = 0
+    removed: bool = False
+
+    def disagreement_rate(self, min_votes: int) -> float:
+        total = self.votes + self.absences
+        if total < min_votes:
+            return 0.0  # not enough evidence yet
+        return (self.disagreements + self.absences) / total
+
+
+@dataclass
+class ValidatorPool:
+    """Tracks per-validator behaviour across consensus decisions."""
+
+    flag_threshold: float = 0.34  # disagreeing with > 1/3 of decisions
+    flags_to_remove: int = 3
+    min_votes: int = 5  # evidence floor before any flagging
+    _records: dict[str, ValidatorRecord] = field(default_factory=dict)
+
+    def add_validator(self, name: str) -> None:
+        if name in self._records:
+            raise TrustError(f"validator {name!r} already in pool")
+        self._records[name] = ValidatorRecord(name=name)
+
+    def record(self, name: str) -> ValidatorRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise TrustError(f"unknown validator {name!r}") from None
+
+    def active(self) -> list[str]:
+        return sorted(n for n, r in self._records.items() if not r.removed)
+
+    def flagged(self) -> list[str]:
+        return sorted(n for n, r in self._records.items() if r.flags > 0 and not r.removed)
+
+    def removed(self) -> list[str]:
+        return sorted(n for n, r in self._records.items() if r.removed)
+
+    def observe_decision(self, outcome_accepted: bool, votes: dict[str, bool]) -> list[str]:
+        """Compare each validator's vote to the decided outcome.
+
+        ``votes`` maps validator name → its validity vote for the deciding
+        quorum; active validators missing from it are counted absent.
+        Returns the validators newly removed by this observation.
+        """
+        newly_removed: list[str] = []
+        for name in self.active():
+            record = self._records[name]
+            if name in votes:
+                record.votes += 1
+                if votes[name] != outcome_accepted:
+                    record.disagreements += 1
+            else:
+                record.absences += 1
+            if record.disagreement_rate(self.min_votes) > self.flag_threshold:
+                record.flags += 1
+                # Flagging resets the window so one bad streak is one flag,
+                # not a permanent stain that re-flags every decision.
+                record.votes = record.disagreements = record.absences = 0
+                if record.flags >= self.flags_to_remove:
+                    record.removed = True
+                    newly_removed.append(name)
+        return newly_removed
+
+    def stats(self) -> dict[str, dict]:
+        return {
+            name: {
+                "votes": r.votes,
+                "disagreements": r.disagreements,
+                "absences": r.absences,
+                "flags": r.flags,
+                "removed": r.removed,
+            }
+            for name, r in sorted(self._records.items())
+        }

@@ -1,0 +1,78 @@
+"""Base encodings used by CIDs and identities: base58btc, base32, hex.
+
+base58btc is the Bitcoin alphabet used by CIDv0 (``Qm...`` identifiers);
+lowercase base32 (RFC 4648, no padding) is the default multibase for CIDv1
+(``b...`` identifiers). Both are implemented from scratch — the substrate is
+dependency-free by design.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+B58_ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_B58_INDEX = {c: i for i, c in enumerate(B58_ALPHABET)}
+
+B32_ALPHABET = "abcdefghijklmnopqrstuvwxyz234567"
+_B32_INDEX = {c: i for i, c in enumerate(B32_ALPHABET)}
+
+
+def b58encode(data: bytes) -> str:
+    """Encode bytes as base58btc (Bitcoin alphabet)."""
+    # Leading zero bytes encode as leading '1' characters.
+    n_zeros = len(data) - len(data.lstrip(b"\x00"))
+    num = int.from_bytes(data, "big")
+    chars: list[str] = []
+    while num:
+        num, rem = divmod(num, 58)
+        chars.append(B58_ALPHABET[rem])
+    return "1" * n_zeros + "".join(reversed(chars))
+
+
+def b58decode(text: str) -> bytes:
+    """Decode a base58btc string to bytes."""
+    num = 0
+    for ch in text:
+        try:
+            num = num * 58 + _B58_INDEX[ch]
+        except KeyError:
+            raise EncodingError(f"invalid base58 character {ch!r}") from None
+    n_zeros = len(text) - len(text.lstrip("1"))
+    body = num.to_bytes((num.bit_length() + 7) // 8, "big") if num else b""
+    return b"\x00" * n_zeros + body
+
+
+def b32encode(data: bytes) -> str:
+    """Encode bytes as lowercase unpadded base32 (RFC 4648 alphabet)."""
+    bits = 0
+    acc = 0
+    out: list[str] = []
+    for byte in data:
+        acc = (acc << 8) | byte
+        bits += 8
+        while bits >= 5:
+            bits -= 5
+            out.append(B32_ALPHABET[(acc >> bits) & 0x1F])
+    if bits:
+        out.append(B32_ALPHABET[(acc << (5 - bits)) & 0x1F])
+    return "".join(out)
+
+
+def b32decode(text: str) -> bytes:
+    """Decode lowercase unpadded base32 to bytes."""
+    acc = 0
+    bits = 0
+    out = bytearray()
+    for ch in text:
+        try:
+            acc = (acc << 5) | _B32_INDEX[ch]
+        except KeyError:
+            raise EncodingError(f"invalid base32 character {ch!r}") from None
+        bits += 5
+        if bits >= 8:
+            bits -= 8
+            out.append((acc >> bits) & 0xFF)
+    # Trailing bits must be zero padding, otherwise the input is malformed.
+    if acc & ((1 << bits) - 1):
+        raise EncodingError("non-zero padding bits in base32 input")
+    return bytes(out)

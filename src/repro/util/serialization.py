@@ -1,0 +1,57 @@
+"""Canonical serialization for hashed and signed structures.
+
+Everything the framework hashes or signs (transactions, blocks, metadata
+records, provenance entries) is first rendered to *canonical JSON*: UTF-8,
+sorted keys, no whitespace, and a restricted value domain (no floats with
+NaN/Inf, no non-string keys). Canonicality matters because two honest nodes
+must derive the identical byte string — and hence identical hash — from the
+same logical record; Python's default ``json.dumps`` does not guarantee that.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.errors import EncodingError
+
+_SCALARS = (str, int, bool, type(None))
+
+
+def _check(value: Any, depth: int = 0) -> None:
+    if depth > 64:
+        raise EncodingError("canonical JSON nesting exceeds 64 levels")
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise EncodingError("NaN/Inf are not canonically serializable")
+        return
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _check(item, depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError(f"non-string dict key {key!r}")
+            _check(item, depth + 1)
+        return
+    raise EncodingError(f"type {type(value).__name__} is not canonically serializable")
+
+
+def canonical_json(value: Any) -> bytes:
+    """Render ``value`` to canonical JSON bytes (sorted keys, compact)."""
+    _check(value)
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def from_canonical_json(data: bytes) -> Any:
+    """Parse canonical JSON bytes back into Python values."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise EncodingError(f"invalid canonical JSON: {exc}") from exc

@@ -1,0 +1,55 @@
+"""Unsigned LEB128 varints, as used by multihash/CID and block framing.
+
+The wire format stores 7 bits per byte, least-significant group first; the
+high bit of each byte is a continuation flag. This matches the `unsigned
+varint <https://github.com/multiformats/unsigned-varint>`_ spec used by the
+multiformats stack (multihash, multicodec, CID), which this reproduction's
+IPFS-like substrate follows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+# The multiformats spec caps varints at 9 bytes (63 bits) for practicality.
+MAX_VARINT_BYTES = 9
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if value < 0:
+        raise EncodingError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            break
+    if len(out) > MAX_VARINT_BYTES:
+        raise EncodingError("varint exceeds 9-byte maximum")
+    return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``. Raises :class:`EncodingError` on
+    truncated or over-long input.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise EncodingError("truncated varint")
+        if pos - offset >= MAX_VARINT_BYTES:
+            raise EncodingError("varint exceeds 9-byte maximum")
+        byte = data[pos]
+        result |= (byte & 0x7F) << shift
+        pos += 1
+        if not byte & 0x80:
+            return result, pos
+        shift += 7

@@ -1,0 +1,50 @@
+"""Vision pipeline substrate: synthetic traffic scenes, static/drone
+capture models, a simulated YOLO detector, and Figure-2-style metadata
+extraction — the stand-in for the paper's IUDX Bangalore video corpus."""
+
+from repro.vision.camera import BBox, DroneCamera, Frame, StaticCamera
+from repro.vision.dataset import N_VIDEOS, TrafficDataset, VideoClip
+from repro.vision.detector import Detection, SimulatedYolo
+from repro.vision.metadata import MetadataExtractor, MetadataRecord
+from repro.vision.eval import EvalResult, evaluate_frame, evaluate_frames
+from repro.vision.violations import (
+    ViolationDetector,
+    ViolationRecord,
+    attach_violations,
+)
+from repro.vision.scene import (
+    CLASS_SIZES,
+    CLASS_WEIGHTS,
+    VEHICLE_CLASSES,
+    VEHICLE_COLORS,
+    SceneGenerator,
+    TrafficScene,
+    Vehicle,
+)
+
+__all__ = [
+    "BBox",
+    "DroneCamera",
+    "Frame",
+    "StaticCamera",
+    "N_VIDEOS",
+    "TrafficDataset",
+    "VideoClip",
+    "Detection",
+    "SimulatedYolo",
+    "MetadataExtractor",
+    "MetadataRecord",
+    "CLASS_SIZES",
+    "CLASS_WEIGHTS",
+    "VEHICLE_CLASSES",
+    "VEHICLE_COLORS",
+    "SceneGenerator",
+    "TrafficScene",
+    "Vehicle",
+    "ViolationDetector",
+    "ViolationRecord",
+    "attach_violations",
+    "EvalResult",
+    "evaluate_frame",
+    "evaluate_frames",
+]

@@ -1,0 +1,106 @@
+"""Detector evaluation: precision/recall against scene ground truth.
+
+The renderer knows exactly what is in every frame, so detector quality is
+measurable, not asserted: per-source-kind precision (detections that
+correspond to real vehicles), recall (real vehicles found), classification
+accuracy among matched detections, and the class confusion table. These
+metrics quantify the Figure 3 story — drone capture costs recall and
+classification accuracy, not just confidence — and give trust-threshold
+tuning an empirical basis.
+
+Matching is by bounding-box IoU against the frame's truth boxes (greedy,
+highest-IoU first), the standard detection-evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.vision.camera import BBox, Frame
+from repro.vision.detector import Detection, SimulatedYolo
+
+
+def iou(a: tuple[int, int, int, int], b: BBox) -> float:
+    """Intersection-over-union of a detection box and a truth box."""
+    ax0, ay0, ax1, ay1 = a
+    ix0, iy0 = max(ax0, b.x0), max(ay0, b.y0)
+    ix1, iy1 = min(ax1, b.x1), min(ay1, b.y1)
+    inter = max(0, ix1 - ix0) * max(0, iy1 - iy0)
+    if inter == 0:
+        return 0.0
+    area_a = (ax1 - ax0) * (ay1 - ay0)
+    union = area_a + b.area - inter
+    return inter / union
+
+
+@dataclass
+class EvalResult:
+    """Aggregated detection metrics over a frame set."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    correct_class: int = 0
+    confusion: dict[tuple[str, str], int] = field(default_factory=dict)  # (true, predicted)
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def classification_accuracy(self) -> float:
+        return self.correct_class / self.true_positives if self.true_positives else 0.0
+
+
+def evaluate_frame(
+    frame: Frame, detections: list[Detection], iou_threshold: float = 0.3
+) -> EvalResult:
+    """Score one frame's detections against its ground truth."""
+    result = EvalResult()
+    unmatched_truth = list(frame.truth)
+    for det in detections:
+        best, best_iou = None, iou_threshold
+        for truth in unmatched_truth:
+            score = iou(det.bbox, truth)
+            if score >= best_iou:
+                best, best_iou = truth, score
+        if best is None:
+            result.false_positives += 1
+            continue
+        unmatched_truth.remove(best)
+        result.true_positives += 1
+        true_cls = best.vehicle.vehicle_class
+        key = (true_cls, det.vehicle_class)
+        result.confusion[key] = result.confusion.get(key, 0) + 1
+        if det.vehicle_class == true_cls:
+            result.correct_class += 1
+    result.false_negatives += len(unmatched_truth)
+    return result
+
+
+def evaluate_frames(
+    frames: Iterable[Frame], detector: SimulatedYolo, iou_threshold: float = 0.3
+) -> EvalResult:
+    """Aggregate :func:`evaluate_frame` across many frames."""
+    total = EvalResult()
+    for frame in frames:
+        partial = evaluate_frame(frame, detector.detect(frame), iou_threshold)
+        total.true_positives += partial.true_positives
+        total.false_positives += partial.false_positives
+        total.false_negatives += partial.false_negatives
+        total.correct_class += partial.correct_class
+        for key, count in partial.confusion.items():
+            total.confusion[key] = total.confusion.get(key, 0) + count
+    return total

@@ -1,0 +1,100 @@
+"""Tests for the access-control chaincode and its retrieval-path enforcement."""
+
+import json
+
+import pytest
+
+from repro.core import Client, Framework, FrameworkConfig
+from repro.errors import AccessDeniedError, ChaincodeError
+from repro.trust import SourceTier
+
+META = {"timestamp": 1.0, "detections": []}
+
+
+@pytest.fixture(scope="module")
+def env():
+    framework = Framework(FrameworkConfig(consensus="solo", orgs=("police", "city")))
+    police = Client(
+        framework, framework.register_source("police-cam", org="police", tier=SourceTier.TRUSTED)
+    )
+    city = Client(
+        framework, framework.register_source("city-analyst", org="city", tier=SourceTier.TRUSTED)
+    )
+    return framework, police, city
+
+
+class TestAclChaincode:
+    def test_open_entry_readable_by_anyone(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"open frame", dict(META))
+        assert city.retrieve(receipt.entry_id).data == b"open frame"
+
+    def test_restricted_entry_denied_to_outsider(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"sensitive frame", dict(META))
+        police.restrict(receipt.entry_id, ["police"])
+        with pytest.raises(AccessDeniedError):
+            city.retrieve(receipt.entry_id)
+        # Owner still reads it.
+        assert police.retrieve(receipt.entry_id).data == b"sensitive frame"
+
+    def test_denial_is_audited_on_chain(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"audited frame", dict(META))
+        police.restrict(receipt.entry_id, ["police"])
+        with pytest.raises(AccessDeniedError):
+            city.retrieve(receipt.entry_id)
+        log = police.access_log(receipt.entry_id)
+        assert any(e["org"] == "city" and e["outcome"] == "denied" for e in log)
+
+    def test_grant_widens_access(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"later shared", dict(META))
+        police.restrict(receipt.entry_id, ["police"])
+        with pytest.raises(AccessDeniedError):
+            city.retrieve(receipt.entry_id)
+        police.restrict(receipt.entry_id, ["police", "city"])
+        assert city.retrieve(receipt.entry_id).data == b"later shared"
+
+    def test_only_owner_org_may_change_acl(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"mine", dict(META))
+        police.restrict(receipt.entry_id, ["police"])
+        with pytest.raises(ChaincodeError, match="only owner org"):
+            city.restrict(receipt.entry_id, ["city"])
+
+    def test_owner_always_in_allowed_set(self, env):
+        framework, police, city = env
+        receipt = police.submit(b"self-lockout-guard", dict(META))
+        acl = police.restrict(receipt.entry_id, ["city"])  # forgot themselves
+        assert "police" in acl["allowed_orgs"]
+        assert police.retrieve(receipt.entry_id).verified
+
+    def test_acl_validation(self, env):
+        framework, police, _ = env
+        receipt = police.submit(b"x", dict(META))
+        with pytest.raises(ChaincodeError):
+            police.restrict(receipt.entry_id, [])
+        with pytest.raises(ChaincodeError):
+            framework.channel.invoke(
+                police.identity, "access_control", "set_acl", [receipt.entry_id, "{bad"]
+            )
+
+    def test_check_access_query(self, env):
+        framework, police, _ = env
+        receipt = police.submit(b"q", dict(META))
+        police.restrict(receipt.entry_id, ["police"])
+        out = json.loads(
+            framework.channel.query(
+                police.identity, "access_control", "check_access",
+                [receipt.entry_id, "city"],
+            )
+        )
+        assert out["allowed"] is False
+
+    def test_log_access_outcome_validated(self, env):
+        framework, police, _ = env
+        with pytest.raises(ChaincodeError, match="granted.*denied|'granted' or 'denied'"):
+            framework.channel.invoke(
+                police.identity, "access_control", "log_access", ["e", "maybe"]
+            )

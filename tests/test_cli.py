@@ -1,0 +1,71 @@
+"""Smoke tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "consensus=bft" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "integrity verified: True" in out
+        assert "captured -> stored -> accessed" in out
+
+    def test_ingest(self, capsys):
+        assert main(["ingest", "--videos", "2", "--frames", "2", "--consensus", "solo"]) == 0
+        out = capsys.readouterr().out
+        assert "committed : 4/4" in out
+        assert "tx/s" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert '"camera_id"' in out and '"detections"' in out
+
+    def test_figure_3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "drone" in out
+
+    def test_figure_4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "record bytes" in out
+
+    def test_figure_5_and_6(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out5 = capsys.readouterr().out
+        assert "storage time" in out5 and "overhead" in out5
+        assert main(["figure", "6"]) == 0
+        out6 = capsys.readouterr().out
+        assert "retrieval time" in out6
+
+    def test_query(self, capsys):
+        assert main(["query", "vehicle_class = 'car'", "--videos", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan   : INDEX by_class" in out
+        assert "matched:" in out
+
+    def test_export_and_inspect_bundle(self, capsys, tmp_path):
+        out = tmp_path / "evidence.bundle"
+        assert main(["export", str(out), "--videos", "2"]) == 0
+        assert out.exists() and out.stat().st_size > 0
+        capsys.readouterr()
+        assert main(["inspect-bundle", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "signature OK" in text
+        assert "hash-verified" in text
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,199 @@
+"""Tests for PBFT consensus: agreement, validity voting, Byzantine faults."""
+
+import pytest
+
+from repro.consensus import Behaviour, BftCluster
+from repro.errors import ConsensusError
+from repro.net import ConstantLatency, SimNetwork
+
+
+def make_cluster(n=4, validator=None, behaviours=None, **kwargs):
+    net = SimNetwork(latency=ConstantLatency(base=0.001))
+    return BftCluster(
+        n_replicas=n, network=net, validator=validator, behaviours=behaviours, **kwargs
+    )
+
+
+class TestHappyPath:
+    def test_single_request_commits_everywhere(self):
+        cluster = make_cluster()
+        req = cluster.submit({"op": "put", "key": "a"})
+        cluster.run()
+        log = cluster.decided_log()
+        assert len(log) == 1
+        assert log[0].request.request_id == req.request_id
+        assert log[0].accepted
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_all_honest_replicas_have_identical_logs(self):
+        cluster = make_cluster()
+        for i in range(5):
+            cluster.submit({"n": i})
+        cluster.run()
+        logs = [
+            [(d.seq, d.request.request_id, d.accepted) for d in sorted(r.log, key=lambda d: d.seq)]
+            for r in cluster.replicas.values()
+        ]
+        assert all(log == logs[0] for log in logs)
+        assert len(logs[0]) == 5
+
+    def test_sequence_numbers_are_consecutive(self):
+        cluster = make_cluster()
+        for i in range(10):
+            cluster.submit(i)
+        cluster.run()
+        assert [d.seq for d in cluster.decided_log()] == list(range(10))
+
+    def test_larger_cluster(self):
+        cluster = make_cluster(n=7)
+        req = cluster.submit("payload")
+        cluster.run()
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_too_small_cluster_rejected(self):
+        with pytest.raises(ConsensusError):
+            make_cluster(n=3)
+
+    def test_accepted_records_vote_counts(self):
+        cluster = make_cluster()
+        cluster.submit("x")
+        cluster.run()
+        decision = cluster.decided_log()[0]
+        assert decision.valid_votes >= 3
+        assert decision.invalid_votes == 0
+
+
+class TestValidationVoting:
+    def test_invalid_transaction_rejected_but_ordered(self):
+        cluster = make_cluster(validator=lambda name, req: req.payload != "bad")
+        good = cluster.submit("good")
+        bad = cluster.submit("bad")
+        cluster.run()
+        log = {d.request.request_id: d for d in cluster.decided_log()}
+        assert log[good.request_id].accepted
+        assert not log[bad.request_id].accepted
+        # Rejection is still an agreement: all replicas decided it.
+        assert cluster.agreement_reached(bad.request_id)
+
+    def test_validator_sees_replica_name(self):
+        seen = set()
+
+        def validator(name, req):
+            seen.add(name)
+            return True
+
+        cluster = make_cluster(validator=validator)
+        cluster.submit("x")
+        cluster.run()
+        assert len(seen) == 4  # every replica validated independently
+
+
+class TestByzantineFaults:
+    def test_one_silent_replica_tolerated(self):
+        cluster = make_cluster(behaviours={"validator-3": Behaviour.SILENT})
+        req = cluster.submit("payload")
+        cluster.run()
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_one_crashed_replica_tolerated(self):
+        cluster = make_cluster(behaviours={"validator-2": Behaviour.CRASHED})
+        req = cluster.submit("payload")
+        cluster.run()
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_one_wrong_digest_replica_tolerated(self):
+        cluster = make_cluster(behaviours={"validator-1": Behaviour.WRONG_DIGEST})
+        req = cluster.submit("payload")
+        cluster.run()
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_one_endorser_of_invalid_data_outvoted(self):
+        """A corrupt validator endorsing bad data cannot flip the verdict."""
+        cluster = make_cluster(
+            validator=lambda name, req: req.payload != "bad",
+            behaviours={"validator-0": Behaviour.ALWAYS_VALID},
+        )
+        bad = cluster.submit("bad")
+        cluster.run()
+        log = {d.request.request_id: d for d in cluster.decided_log()}
+        assert not log[bad.request_id].accepted
+
+    def test_one_rejector_of_valid_data_outvoted(self):
+        cluster = make_cluster(behaviours={"validator-2": Behaviour.ALWAYS_INVALID})
+        req = cluster.submit("fine")
+        cluster.run()
+        log = {d.request.request_id: d for d in cluster.decided_log()}
+        assert log[req.request_id].accepted
+
+    def test_two_byzantine_of_four_break_liveness(self):
+        """Beyond f=1 faults in n=4, requests cannot commit."""
+        cluster = make_cluster(
+            behaviours={
+                "validator-2": Behaviour.SILENT,
+                "validator-3": Behaviour.SILENT,
+            },
+            view_timeout=0.5,
+        )
+        req = cluster.submit("stuck")
+        cluster.run(until=3.0)
+        assert not cluster.agreement_reached(req.request_id)
+
+    def test_f_of_seven_byzantine_tolerated(self):
+        # n=7 -> f=2: two simultaneous faults of different kinds.
+        cluster = make_cluster(
+            n=7,
+            behaviours={
+                "validator-5": Behaviour.WRONG_DIGEST,
+                "validator-6": Behaviour.ALWAYS_INVALID,
+            },
+        )
+        req = cluster.submit("robust")
+        cluster.run()
+        log = {d.request.request_id: d for d in cluster.decided_log()}
+        assert log[req.request_id].accepted
+
+
+class TestViewChange:
+    def test_crashed_primary_triggers_view_change(self):
+        cluster = make_cluster(
+            behaviours={"validator-0": Behaviour.CRASHED}, view_timeout=0.5
+        )
+        req = cluster.submit("survives primary crash")
+        cluster.run(until=10.0)
+        honest = [r for r in cluster.replicas.values() if r.behaviour is Behaviour.NORMAL]
+        assert all(r.view >= 1 for r in honest)
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_silent_primary_request_eventually_commits(self):
+        cluster = make_cluster(
+            behaviours={"validator-0": Behaviour.SILENT}, view_timeout=0.5
+        )
+        req = cluster.submit("needs new primary")
+        cluster.run(until=10.0)
+        assert cluster.agreement_reached(req.request_id)
+
+    def test_equivocating_primary_does_not_split_honest_replicas(self):
+        cluster = make_cluster(
+            behaviours={"validator-0": Behaviour.EQUIVOCATE}, view_timeout=0.5
+        )
+        req = cluster.submit("no fork")
+        cluster.run(until=10.0)
+        # Either the request commits identically everywhere or nowhere;
+        # honest replicas must never decide different values.
+        decisions = {}
+        for r in cluster.replicas.values():
+            if r.behaviour is not Behaviour.NORMAL:
+                continue
+            for d in r.log:
+                if d.request.request_id == req.request_id:
+                    decisions.setdefault(r.name, (d.seq, d.accepted))
+        assert len(set(decisions.values())) <= 1
+
+
+class TestDecisionCallback:
+    def test_on_decision_called_per_replica(self):
+        events = []
+        cluster = make_cluster(on_decision=lambda name, d: events.append(name))
+        cluster.submit("observed")
+        cluster.run()
+        assert len(events) == 4

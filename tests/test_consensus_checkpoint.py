@@ -1,0 +1,83 @@
+"""Tests for PBFT checkpointing and protocol-state garbage collection."""
+
+from repro.consensus import Behaviour, BftCluster
+from repro.net import ConstantLatency, SimNetwork
+
+
+def make_cluster(interval=10, n=4, behaviours=None):
+    return BftCluster(
+        n_replicas=n,
+        network=SimNetwork(latency=ConstantLatency(base=0.001)),
+        behaviours=behaviours,
+        checkpoint_interval=interval,
+        view_timeout=0.5,
+    )
+
+
+class TestCheckpointing:
+    def test_stable_checkpoint_advances(self):
+        cluster = make_cluster(interval=10)
+        for i in range(25):
+            cluster.submit(i)
+        cluster.run()
+        for replica in cluster.replicas.values():
+            assert replica.stable_checkpoint == 19
+
+    def test_slots_garbage_collected(self):
+        cluster = make_cluster(interval=5)
+        for i in range(12):
+            cluster.submit(i)
+        cluster.run()
+        for replica in cluster.replicas.values():
+            # Slots up to the stable checkpoint (seq 9) are gone.
+            assert all(seq > 9 for _, seq in replica._slots)
+            # The decided log itself is intact.
+            assert len(replica.log) == 12
+
+    def test_no_checkpoint_below_interval(self):
+        cluster = make_cluster(interval=10)
+        for i in range(5):
+            cluster.submit(i)
+        cluster.run()
+        for replica in cluster.replicas.values():
+            assert replica.stable_checkpoint == -1
+            assert len(replica._slots) == 5
+
+    def test_disabled_by_default(self):
+        cluster = BftCluster(
+            n_replicas=4, network=SimNetwork(latency=ConstantLatency(base=0.001))
+        )
+        for i in range(15):
+            cluster.submit(i)
+        cluster.run()
+        for replica in cluster.replicas.values():
+            assert replica.stable_checkpoint == -1
+
+    def test_checkpointing_tolerates_byzantine_replica(self):
+        cluster = make_cluster(
+            interval=5, behaviours={"validator-3": Behaviour.SILENT}
+        )
+        for i in range(12):
+            cluster.submit(i)
+        cluster.run()
+        honest = [
+            r for r in cluster.replicas.values() if r.behaviour is Behaviour.NORMAL
+        ]
+        # 3 honest replicas still form the 2f+1 checkpoint quorum.
+        assert all(r.stable_checkpoint >= 4 for r in honest)
+
+    def test_log_agreement_preserved_across_gc(self):
+        cluster = make_cluster(interval=4)
+        requests = [cluster.submit(i) for i in range(10)]
+        cluster.run()
+        for request in requests:
+            assert cluster.agreement_reached(request.request_id)
+
+    def test_work_continues_after_checkpoint(self):
+        cluster = make_cluster(interval=5)
+        for i in range(7):
+            cluster.submit(i)
+        cluster.run()
+        late = cluster.submit("late")
+        cluster.run()
+        assert cluster.agreement_reached(late.request_id)

@@ -1,0 +1,117 @@
+"""Tests for the Raft baseline: elections, replication, fault recovery."""
+
+import pytest
+
+from repro.consensus import RaftCluster, Role
+from repro.errors import ConsensusError
+from repro.net import ConstantLatency, SimNetwork
+
+
+def make_cluster(n=3, seed=1):
+    net = SimNetwork(latency=ConstantLatency(base=0.002))
+    return RaftCluster(n_nodes=n, network=net, seed=seed)
+
+
+def settle(cluster, duration=1.0, step=0.1):
+    end = cluster.network.clock.now() + duration
+    while cluster.network.clock.now() < end:
+        cluster.network.run(until=cluster.network.clock.now() + step)
+
+
+class TestElection:
+    def test_exactly_one_leader_emerges(self):
+        cluster = make_cluster()
+        leader = cluster.elect()
+        settle(cluster, 0.5)
+        leaders = [n for n in cluster.nodes.values() if n.role is Role.LEADER]
+        assert len(leaders) == 1
+        assert leaders[0].name == leader.name
+
+    def test_all_nodes_converge_on_term(self):
+        cluster = make_cluster()
+        cluster.elect()
+        settle(cluster, 0.5)
+        terms = {n.term for n in cluster.nodes.values()}
+        assert len(terms) == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(ConsensusError):
+            RaftCluster(n_nodes=1)
+
+    def test_leader_reelected_after_crash(self):
+        cluster = make_cluster(n=5)
+        old = cluster.elect()
+        cluster.network.set_node_up(old.name, False)
+        settle(cluster, 2.0)
+        new = cluster.leader()
+        assert new is not None
+        assert new.name != old.name
+        assert new.term > old.term
+
+
+class TestReplication:
+    def test_committed_on_all_nodes(self):
+        cluster = make_cluster()
+        cluster.elect()
+        for i in range(5):
+            cluster.submit({"n": i})
+        settle(cluster, 1.0)
+        for name in cluster.node_names:
+            assert cluster.committed_payloads(name) == [{"n": i} for i in range(5)]
+
+    def test_commit_callback_fires(self):
+        committed = []
+        net = SimNetwork(latency=ConstantLatency(base=0.002))
+        cluster = RaftCluster(
+            n_nodes=3,
+            network=net,
+            seed=2,
+            on_commit=lambda node, idx, e: committed.append((node, idx)),
+        )
+        cluster.elect()
+        cluster.submit("x")
+        settle(cluster, 1.0)
+        # Every node commits index 1.
+        assert {(n, 1) for n in cluster.node_names} <= set(committed)
+
+    def test_log_order_preserved(self):
+        cluster = make_cluster()
+        cluster.elect()
+        for i in range(10):
+            cluster.submit(i)
+        settle(cluster, 1.0)
+        assert cluster.committed_payloads() == list(range(10))
+
+    def test_follower_catches_up_after_restart(self):
+        cluster = make_cluster(n=3)
+        leader = cluster.elect()
+        follower = next(n for n in cluster.node_names if n != leader.name)
+        cluster.network.set_node_up(follower, False)
+        for i in range(3):
+            cluster.submit(i)
+        settle(cluster, 1.0)
+        cluster.network.set_node_up(follower, True)
+        settle(cluster, 2.0)
+        assert cluster.committed_payloads(follower) == [0, 1, 2]
+
+    def test_majority_partition_still_commits(self):
+        cluster = make_cluster(n=5)
+        leader = cluster.elect()
+        others = [n for n in cluster.node_names if n != leader.name]
+        # Leader keeps a majority side: itself + 2 others.
+        cluster.network.partition([leader.name] + others[:2], others[2:])
+        settle(cluster, 1.0)
+        cluster.submit("majority commit")
+        settle(cluster, 2.0)
+        assert "majority commit" in cluster.committed_payloads(leader.name)
+
+    def test_minority_partition_cannot_commit(self):
+        cluster = make_cluster(n=5)
+        leader = cluster.elect()
+        others = [n for n in cluster.node_names if n != leader.name]
+        # Leader isolated with a single follower: a 2/5 minority.
+        cluster.network.partition([leader.name, others[0]], others[1:])
+        before = leader.commit_index
+        leader.propose("doomed")
+        settle(cluster, 2.0)
+        assert leader.commit_index == before

@@ -1,0 +1,84 @@
+"""Tests for admitting a new organization to a running channel."""
+
+import json
+
+import pytest
+
+from repro.fabric import FabricNetwork
+from repro.fabric.snapshot import states_agree
+
+from tests.fabric_helpers import KvChaincode, make_network
+
+
+class TestOrgAddition:
+    def test_new_org_peer_catches_up_with_history(self):
+        net, channel, alice = make_network()
+        for i in range(4):
+            channel.invoke(alice, "kv", "put", [f"k{i}", str(i)])
+        joined = net.add_org_to_channel("traffic", "org3")
+        assert len(joined) == 1
+        new_peer = joined[0]
+        assert new_peer.ledger.height == channel.height()
+        assert new_peer.world.get("k2") == b"2"
+        assert states_agree(new_peer, list(channel.peers.values())[0])
+
+    def test_new_org_endorsement_rejected_until_policy_updated(self):
+        """Faithful Fabric semantics: admitting an org does not silently
+        widen existing endorsement policies."""
+        net, channel, alice = make_network()
+        channel.invoke(alice, "kv", "put", ["pre", "x"])
+        net.add_org_to_channel("traffic", "org3")
+        from repro.fabric import ValidationCode
+
+        result = channel.invoke(alice, "kv", "put", ["post", "y"], endorsing_orgs=["org3"])
+        assert result.code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+    def test_new_org_can_endorse_after_policy_update(self):
+        net, channel, alice = make_network()
+        net.add_org_to_channel("traffic", "org3")
+        from repro.fabric import AnyOf
+
+        channel.update_chaincode_policy("kv", AnyOf("org1", "org2", "org3"))
+        result = channel.invoke(alice, "kv", "put", ["post", "y"], endorsing_orgs=["org3"])
+        assert result.ok
+        _, tx, _ = list(channel.peers.values())[0].ledger.find_tx(result.tx_id)
+        assert tx.endorsing_orgs() == {"org3"}
+
+    def test_policy_update_unknown_chaincode_rejected(self):
+        net, channel, _ = make_network()
+        from repro.errors import FabricError
+        from repro.fabric import AnyOf
+
+        with pytest.raises(FabricError):
+            channel.update_chaincode_policy("nope", AnyOf("org1"))
+
+    def test_new_org_commits_future_blocks(self):
+        net, channel, alice = make_network()
+        joined = net.add_org_to_channel("traffic", "org3", peers=2)
+        channel.invoke(alice, "kv", "put", ["after-join", "v"])
+        for peer in joined:
+            assert peer.world.get("after-join") == b"v"
+
+    def test_new_org_clients_can_transact(self):
+        net, channel, alice = make_network()
+        net.add_org_to_channel("traffic", "org3")
+        from repro.fabric import Role
+
+        newcomer = net.register_identity("carol", "org3", Role.CLIENT)
+        result = channel.invoke(newcomer, "kv", "put", ["carols-key", "1"])
+        assert result.ok
+        out = json.loads(channel.query(newcomer, "kv", "whoami", []))
+        assert out["org"] == "org3"
+
+    def test_existing_org_reuse_allowed(self):
+        net, channel, alice = make_network()
+        joined = net.add_org_to_channel("traffic", "org1")  # extra org1 peer
+        assert joined[0].org == "org1"
+        assert joined[0].ledger.height == channel.height()
+
+    def test_unknown_channel_rejected(self):
+        net = FabricNetwork()
+        from repro.errors import FabricError
+
+        with pytest.raises(FabricError):
+            net.add_org_to_channel("ghost", "org1")

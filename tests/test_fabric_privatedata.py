@@ -1,0 +1,174 @@
+"""Tests for private data collections: org-scoped plaintext, public hashes."""
+
+import json
+
+import pytest
+
+from repro.errors import ChaincodeError, FabricError
+from repro.fabric import Chaincode, ChaincodeStub, FabricNetwork
+from repro.fabric.privatedata import (
+    CollectionRegistry,
+    PrivateCollection,
+    PrivateStateStore,
+    private_hash_key,
+    value_hash,
+)
+
+
+class EvidenceChaincode(Chaincode):
+    """Stores sensitive evidence privately, its hash publicly.
+
+    The value arrives via the transient map, never as a chaincode arg —
+    args are signed into the proposal and would leak onto the ledger.
+    """
+
+    name = "evidence"
+
+    def store(self, stub: ChaincodeStub, key: str):
+        value = stub.get_transient("value")
+        if value is None:
+            raise ChaincodeError("transient field 'value' is required")
+        stub.put_private_data("law-enforcement", key, value)
+        stub.put_state("evidence-index:" + key, b"1")  # public marker
+        return {"stored": key}
+
+    def read(self, stub: ChaincodeStub, key: str):
+        value = stub.get_private_data("law-enforcement", key)
+        if value is None:
+            raise ChaincodeError(f"no private evidence {key!r}")
+        return {"key": key, "value": value.decode()}
+
+    def read_hash(self, stub: ChaincodeStub, key: str):
+        return {"hash": stub.get_private_data_hash("law-enforcement", key)}
+
+    def verify(self, stub: ChaincodeStub, key: str, value: str):
+        return {"ok": stub.verify_private_disclosure("law-enforcement", key, value.encode())}
+
+
+@pytest.fixture()
+def env():
+    net = FabricNetwork()
+    channel = net.create_channel("ch", orgs=["police", "city"])
+    channel.define_collection("law-enforcement", member_orgs=["police"])
+    channel.install_chaincode(EvidenceChaincode())
+    client = net.register_identity("officer", "police")
+    return net, channel, client
+
+
+class TestCollectionDefinitions:
+    def test_collection_validation(self):
+        with pytest.raises(FabricError):
+            PrivateCollection(name="", member_orgs=frozenset({"a"}))
+        with pytest.raises(FabricError):
+            PrivateCollection(name="c", member_orgs=frozenset())
+
+    def test_duplicate_definition_rejected(self, env):
+        _, channel, _ = env
+        with pytest.raises(FabricError):
+            channel.define_collection("law-enforcement", ["police"])
+
+    def test_non_member_store_access_rejected(self):
+        registry = CollectionRegistry()
+        registry.define(PrivateCollection("c", frozenset({"police"})))
+        outsider = PrivateStateStore(org="city", registry=registry)
+        with pytest.raises(ChaincodeError):
+            outsider.store_for("c")
+
+
+class TestPrivateFlow:
+    def test_member_peer_holds_plaintext(self, env):
+        _, channel, client = env
+        result = channel.invoke(client, "evidence", "store", ["case-1"],
+                       endorsing_orgs=["police"], transient={"value": b"plate KA-01-X-9999"})
+        assert result.ok
+        police_peer = channel.org_peers("police")[0]
+        store = police_peer.private.store_for("law-enforcement")
+        assert store.get("case-1") == b"plate KA-01-X-9999"
+
+    def test_non_member_peer_holds_only_hash(self, env):
+        _, channel, client = env
+        channel.invoke(client, "evidence", "store", ["case-2"],
+                       endorsing_orgs=["police"], transient={"value": b"secret"})
+        city_peer = channel.org_peers("city")[0]
+        # Public hash present on the non-member peer...
+        on_chain = city_peer.world.get(private_hash_key("law-enforcement", "case-2"))
+        assert on_chain == value_hash(b"secret").encode()
+        # ...but no plaintext anywhere in its state or side stores.
+        assert not city_peer.private.has_collection("law-enforcement")
+        for _, value in city_peer.world.range():
+            assert b"secret" not in value
+
+    def test_member_can_read_back_via_chaincode(self, env):
+        _, channel, client = env
+        channel.invoke(client, "evidence", "store", ["case-3"],
+                       endorsing_orgs=["police"], transient={"value": b"witness statement"})
+        police_peer = channel.org_peers("police")[0].name
+        out = json.loads(channel.query(client, "evidence", "read", ["case-3"], peer=police_peer))
+        assert out["value"] == "witness statement"
+
+    def test_non_member_read_fails(self, env):
+        _, channel, client = env
+        channel.invoke(client, "evidence", "store", ["case-4"],
+                       endorsing_orgs=["police"], transient={"value": b"x"})
+        city_peer = channel.org_peers("city")[0].name
+        with pytest.raises(ChaincodeError, match="not a member"):
+            channel.query(client, "evidence", "read", ["case-4"], peer=city_peer)
+
+    def test_anyone_can_verify_disclosure(self, env):
+        """A non-member org can check a value disclosed to it off-band."""
+        _, channel, client = env
+        channel.invoke(client, "evidence", "store", ["case-5"],
+                       endorsing_orgs=["police"], transient={"value": b"disclosed later"})
+        city_peer = channel.org_peers("city")[0].name
+        ok = json.loads(channel.query(client, "evidence", "verify",
+                                      ["case-5", "disclosed later"], peer=city_peer))
+        bad = json.loads(channel.query(client, "evidence", "verify",
+                                       ["case-5", "forged value"], peer=city_peer))
+        assert ok["ok"] is True
+        assert bad["ok"] is False
+
+    def test_hash_visible_to_all(self, env):
+        _, channel, client = env
+        channel.invoke(client, "evidence", "store", ["case-6"],
+                       endorsing_orgs=["police"], transient={"value": b"v"})
+        for peer_name in channel.peers:
+            out = json.loads(channel.query(client, "evidence", "read_hash", ["case-6"],
+                                           peer=peer_name))
+            assert out["hash"] == value_hash(b"v")
+
+    def test_private_payload_not_in_block_bytes(self, env):
+        _, channel, client = env
+        result = channel.invoke(client, "evidence", "store", ["case-7"],
+                       endorsing_orgs=["police"], transient={"value": b"never-on-chain"})
+        peer = channel.org_peers("city")[0]
+        block = peer.ledger.block(result.block_number)
+        for tx in block.transactions:
+            assert b"never-on-chain" not in tx.envelope_bytes()
+
+    def test_unknown_collection_rejected(self, env):
+        _, channel, client = env
+
+        class BadCc(Chaincode):
+            name = "bad"
+
+            def go(self, stub):
+                stub.put_private_data("no-such-collection", "k", b"v")
+                return {}
+
+        channel.install_chaincode(BadCc())
+        with pytest.raises(ChaincodeError, match="unknown private collection"):
+            channel.invoke(client, "bad", "go", [], endorsing_orgs=["police"])
+
+    def test_buffered_private_read_within_tx(self, env):
+        _, channel, client = env
+
+        class RoundTrip(Chaincode):
+            name = "roundtrip"
+
+            def go(self, stub):
+                stub.put_private_data("law-enforcement", "k", b"fresh")
+                return {"read_back": stub.get_private_data("law-enforcement", "k").decode()}
+
+        channel.install_chaincode(RoundTrip())
+        result = channel.invoke(client, "roundtrip", "go", [], endorsing_orgs=["police"])
+        assert json.loads(result.response)["read_back"] == "fresh"

@@ -1,0 +1,133 @@
+"""Tests for CouchDB-style rich queries."""
+
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.fabric.richquery import match_selector, select
+
+from tests.fabric_helpers import make_network
+
+
+DOC = {
+    "user_id": "mob-1",
+    "tier": "untrusted",
+    "score": 0.42,
+    "profile": {"org": "crowd", "active": True},
+}
+
+
+class TestMatchSelector:
+    def test_implicit_equality(self):
+        assert match_selector(DOC, {"tier": "untrusted"})
+        assert not match_selector(DOC, {"tier": "trusted"})
+
+    def test_nested_fields(self):
+        assert match_selector(DOC, {"profile.org": "crowd"})
+        assert not match_selector(DOC, {"profile.org": "city"})
+
+    def test_comparison_operators(self):
+        assert match_selector(DOC, {"score": {"$lt": 0.5}})
+        assert match_selector(DOC, {"score": {"$gte": 0.42}})
+        assert not match_selector(DOC, {"score": {"$gt": 0.42}})
+        assert match_selector(DOC, {"score": {"$ne": 1.0}})
+
+    def test_in_nin(self):
+        assert match_selector(DOC, {"tier": {"$in": ["trusted", "untrusted"]}})
+        assert match_selector(DOC, {"tier": {"$nin": ["trusted"]}})
+
+    def test_exists(self):
+        assert match_selector(DOC, {"score": {"$exists": True}})
+        assert match_selector(DOC, {"missing": {"$exists": False}})
+        assert not match_selector(DOC, {"missing": {"$exists": True}})
+
+    def test_regex(self):
+        assert match_selector(DOC, {"user_id": {"$regex": r"^mob-\d+$"}})
+        assert not match_selector(DOC, {"user_id": {"$regex": r"^cam"}})
+
+    def test_combinators(self):
+        assert match_selector(DOC, {"$and": [{"tier": "untrusted"}, {"score": {"$lt": 1}}]})
+        assert match_selector(DOC, {"$or": [{"tier": "trusted"}, {"score": {"$lt": 1}}]})
+        assert match_selector(DOC, {"$not": {"tier": "trusted"}})
+        assert not match_selector(DOC, {"$not": {"tier": "untrusted"}})
+
+    def test_multiple_conditions_per_field(self):
+        assert match_selector(DOC, {"score": {"$gt": 0.1, "$lt": 0.5}})
+        assert not match_selector(DOC, {"score": {"$gt": 0.1, "$lt": 0.2}})
+
+    def test_missing_field_never_matches(self):
+        assert not match_selector(DOC, {"missing": {"$lt": 5}})
+        assert not match_selector(DOC, {"missing": "x"})
+
+    def test_cross_type_comparison_false(self):
+        assert not match_selector(DOC, {"tier": {"$lt": 5}})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            match_selector(DOC, {"score": {"$almost": 0.4}})
+        with pytest.raises(QueryError):
+            match_selector(DOC, {"$xor": []})
+
+
+class TestSelect:
+    ROWS = [
+        ("u1", json.dumps({"tier": "trusted", "n": 1}).encode()),
+        ("u2", json.dumps({"tier": "untrusted", "n": 2}).encode()),
+        ("u3", json.dumps({"tier": "untrusted", "n": 3}).encode()),
+        ("blob", b"\x00\x01raw bytes"),
+        ("arr", b"[1,2,3]"),
+    ]
+
+    def test_filters_and_parses(self):
+        hits = select(self.ROWS, {"tier": "untrusted"})
+        assert [k for k, _ in hits] == ["u2", "u3"]
+
+    def test_non_json_rows_skipped(self):
+        assert select(self.ROWS, {}) and all(k.startswith("u") for k, _ in select(self.ROWS, {}))
+
+    def test_limit(self):
+        hits = select(self.ROWS, {"tier": "untrusted"}, limit=1)
+        assert len(hits) == 1
+
+
+class TestStubRichQuery:
+    def test_end_to_end_selector_query(self):
+        """Rich query through a chaincode on a live channel."""
+        from repro.fabric import Chaincode
+
+        class Registry(Chaincode):
+            name = "registry"
+
+            def add(self, stub, user_id, tier, score):
+                doc = {"user_id": user_id, "tier": tier, "score": float(score)}
+                stub.put_state("user:" + user_id, json.dumps(doc).encode())
+                return doc
+
+            def find(self, stub, selector_json):
+                return [doc for _, doc in stub.get_query_result(selector_json)]
+
+        net, channel, alice = make_network()
+        channel.install_chaincode(Registry())
+        channel.invoke(alice, "registry", "add", ["cam-1", "trusted", "1.0"])
+        channel.invoke(alice, "registry", "add", ["mob-1", "untrusted", "0.3"])
+        channel.invoke(alice, "registry", "add", ["mob-2", "untrusted", "0.8"])
+
+        selector = json.dumps({"tier": "untrusted", "score": {"$lt": 0.5}})
+        hits = json.loads(channel.query(alice, "registry", "find", [selector]))
+        assert [h["user_id"] for h in hits] == ["mob-1"]
+
+    def test_bad_selector_rejected(self):
+        from repro.errors import ChaincodeError
+        from repro.fabric import Chaincode
+
+        class Q(Chaincode):
+            name = "q"
+
+            def find(self, stub, selector_json):
+                return stub.get_query_result(selector_json)
+
+        net, channel, alice = make_network()
+        channel.install_chaincode(Q())
+        with pytest.raises(ChaincodeError, match="not valid JSON"):
+            channel.query(alice, "q", "find", ["{broken"])

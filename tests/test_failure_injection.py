@@ -1,0 +1,157 @@
+"""Cross-cutting failure-injection tests: the system under partial failure."""
+
+import json
+
+import pytest
+
+from repro.consensus import Behaviour
+from repro.core import Client, Framework, FrameworkConfig
+from repro.errors import BlockNotFoundError, EndorsementError
+from repro.fabric.snapshot import states_agree
+from repro.ipfs import FixedSizeChunker, IpfsCluster
+from repro.ipfs.replication import ReplicationManager
+from repro.trust import SourceTier
+from repro.util.rng import rng_for
+
+from tests.fabric_helpers import make_network
+
+META = {"timestamp": 1.0, "detections": []}
+
+
+class TestEndorsementFailures:
+    def test_offline_org_peer_fails_endorsement_cleanly(self):
+        net, channel, alice = make_network()
+        for peer in channel.org_peers("org2"):
+            peer.online = False
+        # AnyOf policy: org1 alone satisfies it; explicit org2 demand fails.
+        with pytest.raises(EndorsementError):
+            channel.endorse(alice, "kv", "put", ["k", "v"], endorsing_orgs=["org2"])
+
+    def test_surviving_org_keeps_channel_alive(self):
+        net, channel, alice = make_network(peers_per_org=2)
+        for peer in channel.org_peers("org2"):
+            peer.online = False
+        result = channel.invoke(alice, "kv", "put", ["k", "v"], endorsing_orgs=["org1"])
+        assert result.ok
+
+    def test_second_peer_of_org_takes_over(self):
+        net, channel, alice = make_network(peers_per_org=2)
+        first = channel.org_peers("org1")[0]
+        first.online = False
+        result = channel.invoke(alice, "kv", "put", ["k", "v"])
+        assert result.ok
+
+
+class TestCommitOutageRecovery:
+    def test_peer_down_across_many_blocks_catches_up(self):
+        net, channel, alice = make_network(peers_per_org=2)
+        lagging = list(channel.peers.values())[2]
+        lagging.online = False
+        for i in range(6):
+            channel.invoke(alice, "kv", "put", [f"k{i}", str(i)])
+        lagging.online = True
+        channel.anti_entropy()
+        reference = list(channel.peers.values())[0]
+        assert lagging.ledger.height == reference.ledger.height
+        assert states_agree(lagging, reference)
+
+    def test_catchup_replays_mvcc_identically(self):
+        net, channel, alice = make_network(peers_per_org=2, max_batch_size=2)
+        lagging = list(channel.peers.values())[3]
+        lagging.online = False
+        # Create a block containing a known MVCC conflict.
+        channel.invoke(alice, "kv", "put", ["c", "0"])
+        channel.invoke_async(alice, "kv", "increment", ["c"])
+        channel.invoke_async(alice, "kv", "increment", ["c"])
+        channel.flush()
+        lagging.online = True
+        channel.anti_entropy()
+        reference = list(channel.peers.values())[0]
+        # The lagging peer re-validated and reached the same per-tx codes.
+        for num in range(reference.ledger.height):
+            assert (
+                lagging.ledger.block(num).validation_codes
+                == reference.ledger.block(num).validation_codes
+            )
+
+
+class TestBftValidatorFailuresMidstream:
+    def test_validator_crash_mid_stream(self):
+        framework = Framework(FrameworkConfig(consensus="bft", n_validators=4))
+        client = Client(
+            framework, framework.register_source("mid-cam", tier=SourceTier.TRUSTED)
+        )
+        client.submit(b"before crash", dict(META))
+        # Crash one validator (f=1): subsequent submissions must still commit.
+        orderer = framework.channel.orderer
+        orderer.cluster.network.set_node_up("validator-2", False)
+        receipt = client.submit(b"after crash", dict(META))
+        assert receipt.ok
+
+    def test_byzantine_validator_from_genesis(self):
+        framework = Framework(FrameworkConfig(consensus="bft", n_validators=4))
+        orderer = framework.channel.orderer
+        orderer.cluster.replicas["validator-1"].behaviour = Behaviour.WRONG_DIGEST
+        client = Client(
+            framework, framework.register_source("byz-cam", tier=SourceTier.TRUSTED)
+        )
+        receipt = client.submit(b"tolerated", dict(META))
+        assert receipt.ok
+
+
+class TestIpfsFailures:
+    def test_provider_loss_makes_content_unreachable_then_repair_restores(self):
+        cluster = IpfsCluster(n_nodes=4, chunker=FixedSizeChunker(200))
+        mgr = ReplicationManager(cluster, replication_factor=2)
+        data = rng_for(1, "fail").bytes(1500)
+        root = cluster.add(data, node="ipfs-0").cid
+        mgr.replicate(root)
+        # Kill every current holder but one; repair from the survivor.
+        holders = mgr.status(root).holders
+        for victim in holders[:-1]:
+            cluster.remove_node(victim)
+        assert mgr.repair()  # did work
+        status = mgr.status(root)
+        assert status.healthy
+        assert cluster.node(status.holders[0]).cat_local(root) == data
+
+    def test_all_holders_lost_is_a_hard_failure(self):
+        cluster = IpfsCluster(n_nodes=3, chunker=FixedSizeChunker(200))
+        data = rng_for(2, "fail").bytes(800)
+        root = cluster.add(data, node="ipfs-0").cid  # only ipfs-0 holds it
+        cluster.remove_node("ipfs-0")
+        with pytest.raises(BlockNotFoundError):
+            cluster.cat(root, node="ipfs-1")
+
+    def test_retrieval_survives_one_ipfs_node_loss_with_framework(self):
+        framework = Framework(FrameworkConfig(consensus="solo", n_ipfs_nodes=3))
+        client = Client(
+            framework, framework.register_source("ha-cam", tier=SourceTier.TRUSTED)
+        )
+        receipt = client.submit(b"replicate me" * 100, dict(META))
+        from repro.crypto.cid import CID
+
+        mgr = ReplicationManager(framework.ipfs, replication_factor=2)
+        status = mgr.replicate(CID.parse(receipt.cid))
+        # Lose one replica; retrieval still verifies.
+        framework.ipfs.remove_node(status.holders[0])
+        result = client.retrieve(receipt.entry_id)
+        assert result.verified and result.data == b"replicate me" * 100
+
+
+class TestNetworkPartitionDuringConsensus:
+    def test_partition_stalls_then_heal_recovers(self):
+        from repro.consensus import BftCluster
+        from repro.net import ConstantLatency, SimNetwork
+
+        net = SimNetwork(latency=ConstantLatency(base=0.001))
+        cluster = BftCluster(n_replicas=4, network=net, view_timeout=0.5)
+        # Split 2/2: no side has a 2f+1=3 quorum.
+        net.partition(["validator-0", "validator-1"], ["validator-2", "validator-3"])
+        request = cluster.submit("partitioned")
+        cluster.run(until=2.0)
+        assert not cluster.agreement_reached(request.request_id)
+        net.heal()
+        retry = cluster.submit("after heal")
+        cluster.run(until=20.0)
+        assert cluster.agreement_reached(retry.request_id)

@@ -1,0 +1,124 @@
+"""Tests for blocks and blockstores (memory + filesystem)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.cid import CID
+from repro.errors import BlockNotFoundError, InvalidBlockError
+from repro.ipfs.block import Block
+from repro.ipfs.blockstore import FSBlockstore, MemoryBlockstore
+
+
+class TestBlock:
+    def test_for_data_derives_cid(self):
+        block = Block.for_data(b"payload")
+        assert block.cid == CID.for_data(b"payload")
+
+    def test_verified_accepts_matching(self):
+        cid = CID.for_data(b"payload")
+        assert Block.verified(cid, b"payload").data == b"payload"
+
+    def test_verified_rejects_mismatch(self):
+        cid = CID.for_data(b"payload")
+        with pytest.raises(InvalidBlockError):
+            Block.verified(cid, b"tampered")
+
+    def test_len(self):
+        assert len(Block.for_data(b"abc")) == 3
+
+
+def stores(tmp_path):
+    return [MemoryBlockstore(), FSBlockstore(tmp_path / "blocks")]
+
+
+class TestBlockstores:
+    def test_put_get_roundtrip(self, tmp_path):
+        for store in stores(tmp_path):
+            block = Block.for_data(b"hello")
+            store.put(block)
+            assert store.get(block.cid).data == b"hello"
+
+    def test_has(self, tmp_path):
+        for store in stores(tmp_path):
+            block = Block.for_data(b"hello")
+            assert not store.has(block.cid)
+            store.put(block)
+            assert store.has(block.cid)
+
+    def test_get_missing_raises(self, tmp_path):
+        for store in stores(tmp_path):
+            with pytest.raises(BlockNotFoundError):
+                store.get(CID.for_data(b"nothing"))
+
+    def test_delete(self, tmp_path):
+        for store in stores(tmp_path):
+            block = Block.for_data(b"gone")
+            store.put(block)
+            store.delete(block.cid)
+            assert not store.has(block.cid)
+
+    def test_delete_missing_is_noop(self, tmp_path):
+        for store in stores(tmp_path):
+            store.delete(CID.for_data(b"never"))  # must not raise
+
+    def test_dedup_identical_blocks(self, tmp_path):
+        for store in stores(tmp_path):
+            block = Block.for_data(b"same")
+            store.put(block)
+            store.put(block)
+            assert len(store) == 1
+            assert store.stats.bytes_written == 4
+
+    def test_cids_enumerates_all(self, tmp_path):
+        for store in stores(tmp_path):
+            blocks = [Block.for_data(bytes([i]) * 10) for i in range(5)]
+            for b in blocks:
+                store.put(b)
+            assert set(store.cids()) == {b.cid for b in blocks}
+
+    def test_stats_track_hits_and_misses(self, tmp_path):
+        for store in stores(tmp_path):
+            block = Block.for_data(b"x")
+            store.put(block)
+            store.get(block.cid)
+            with pytest.raises(BlockNotFoundError):
+                store.get(CID.for_data(b"y"))
+            assert store.stats.hits == 1
+            assert store.stats.misses == 1
+
+
+class TestFSBlockstore:
+    def test_persistence_across_instances(self, tmp_path):
+        root = tmp_path / "persist"
+        block = Block.for_data(b"durable")
+        FSBlockstore(root).put(block)
+        assert FSBlockstore(root).get(block.cid).data == b"durable"
+
+    def test_corruption_detected_on_read(self, tmp_path):
+        root = tmp_path / "corrupt"
+        store = FSBlockstore(root)
+        block = Block.for_data(b"honest bytes")
+        store.put(block)
+        # Flip bytes on disk behind the store's back.
+        path = store._path(block.cid)
+        path.write_bytes(b"evil bytes!!")
+        with pytest.raises(InvalidBlockError):
+            store.get(block.cid)
+
+    def test_sharded_layout(self, tmp_path):
+        root = tmp_path / "shards"
+        store = FSBlockstore(root)
+        block = Block.for_data(b"shard me")
+        store.put(block)
+        shard = block.cid.encode()[-2:]
+        assert (root / shard / f"{block.cid.encode()}.blk").exists()
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8, unique=True))
+    def test_property_roundtrip_many(self, payloads):
+        store = MemoryBlockstore()
+        blocks = [Block.for_data(p) for p in payloads]
+        for b in blocks:
+            store.put(b)
+        for b in blocks:
+            assert store.get(b.cid).data == b.data

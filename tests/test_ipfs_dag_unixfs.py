@@ -1,0 +1,175 @@
+"""Tests for the Merkle DAG layer and UnixFS file trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cid import CID, CODEC_DAG_JSON
+from repro.errors import BlockNotFoundError, DagError
+from repro.ipfs.blockstore import MemoryBlockstore
+from repro.ipfs.chunker import FixedSizeChunker, RollingChunker
+from repro.ipfs.dag import DagLink, DagNode, DagService
+from repro.ipfs.unixfs import UnixFS
+from repro.util.rng import rng_for
+
+
+class TestDagNode:
+    def test_serialize_roundtrip(self):
+        child = CID.for_data(b"child")
+        node = DagNode(data=b"payload", links=(DagLink("a", child, 5),))
+        assert DagNode.deserialize(node.serialize()) == node
+
+    def test_identical_nodes_same_cid(self):
+        child = CID.for_data(b"c")
+        n1 = DagNode(data=b"x", links=(DagLink("l", child, 1),))
+        n2 = DagNode(data=b"x", links=(DagLink("l", child, 1),))
+        assert n1.cid() == n2.cid()
+
+    def test_link_order_changes_cid(self):
+        a, b = CID.for_data(b"a"), CID.for_data(b"b")
+        n1 = DagNode(links=(DagLink("", a, 1), DagLink("", b, 1)))
+        n2 = DagNode(links=(DagLink("", b, 1), DagLink("", a, 1)))
+        assert n1.cid() != n2.cid()
+
+    def test_negative_tsize_rejected(self):
+        with pytest.raises(DagError):
+            DagLink("x", CID.for_data(b"x"), -1)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(DagError):
+            DagNode.deserialize(b'{"nope":1}')
+
+    def test_total_size(self):
+        child = CID.for_data(b"c")
+        node = DagNode(data=b"abc", links=(DagLink("", child, 10),))
+        assert node.total_size() == 13
+
+
+class TestDagService:
+    def test_put_get_roundtrip(self):
+        svc = DagService(MemoryBlockstore())
+        node = DagNode(data=b"n")
+        cid = svc.put(node)
+        assert svc.get(cid) == node
+
+    def test_get_raw_cid_rejected(self):
+        svc = DagService(MemoryBlockstore())
+        with pytest.raises(DagError):
+            svc.get(CID.for_data(b"raw"))
+
+    def test_walk_visits_all_once(self):
+        store = MemoryBlockstore()
+        svc = DagService(store)
+        from repro.ipfs.block import Block
+
+        leaf = Block.for_data(b"leaf")
+        store.put(leaf)
+        shared = DagNode(data=b"shared", links=(DagLink("", leaf.cid, 4),))
+        shared_cid = svc.put(shared)
+        # Diamond: root links the shared node twice.
+        root = DagNode(
+            data=b"root",
+            links=(DagLink("l", shared_cid, 10), DagLink("r", shared_cid, 10)),
+        )
+        root_cid = svc.put(root)
+        visited = list(svc.walk(root_cid))
+        assert len(visited) == 3  # root, shared, leaf — shared visited once
+        assert svc.referenced_cids(root_cid) == {root_cid, shared_cid, leaf.cid}
+
+
+class TestUnixFS:
+    def make(self, chunk=1024, fanout=4):
+        return UnixFS(MemoryBlockstore(), chunker=FixedSizeChunker(chunk), fanout=fanout)
+
+    def test_empty_file(self):
+        fs = self.make()
+        result = fs.add_file(b"")
+        assert fs.read_file(result.cid) == b""
+        assert result.size == 0
+
+    def test_single_chunk_stored_raw(self):
+        fs = self.make(chunk=1024)
+        result = fs.add_file(b"small")
+        assert result.n_leaves == 1
+        assert result.n_nodes == 0
+        assert result.cid.codec_name == "raw"
+        assert fs.read_file(result.cid) == b"small"
+
+    def test_multi_chunk_roundtrip(self):
+        fs = self.make(chunk=100)
+        data = rng_for(1, "unixfs").bytes(1050)
+        result = fs.add_file(data)
+        assert result.n_leaves == 11
+        assert result.cid.codec == CODEC_DAG_JSON
+        assert fs.read_file(result.cid) == data
+
+    def test_deep_tree_with_small_fanout(self):
+        fs = self.make(chunk=10, fanout=2)
+        data = rng_for(2, "unixfs").bytes(1000)  # 100 leaves, ceil(log2) levels
+        result = fs.add_file(data)
+        assert result.n_nodes >= 50
+        assert fs.read_file(result.cid) == data
+
+    def test_same_content_same_cid(self):
+        data = rng_for(3, "unixfs").bytes(5000)
+        assert self.make().add_file(data).cid == self.make().add_file(data).cid
+
+    def test_different_content_different_cid(self):
+        fs = self.make()
+        assert fs.add_file(b"aaa").cid != fs.add_file(b"bbb").cid
+
+    def test_file_size_without_reading_leaves(self):
+        fs = self.make(chunk=100)
+        data = rng_for(4, "unixfs").bytes(1234)
+        result = fs.add_file(data)
+        reads_before = fs.blockstore.stats.bytes_read
+        assert fs.file_size(result.cid) == 1234
+        # Only the root node was read, far less than the file.
+        assert fs.blockstore.stats.bytes_read - reads_before < 1234
+
+    def test_leaf_cids_in_order(self):
+        fs = self.make(chunk=3)
+        result = fs.add_file(b"abcdefghi")
+        leaves = fs.leaf_cids(result.cid)
+        assert [fs.blockstore.get(c).data for c in leaves] == [b"abc", b"def", b"ghi"]
+
+    def test_missing_block_raises(self):
+        fs = self.make(chunk=10)
+        data = rng_for(5, "unixfs").bytes(100)
+        result = fs.add_file(data)
+        # Drop one leaf and expect retrieval failure.
+        victim = fs.leaf_cids(result.cid)[3]
+        fs.blockstore.delete(victim)
+        with pytest.raises(BlockNotFoundError):
+            fs.read_file(result.cid)
+
+    def test_dedup_across_files(self):
+        fs = self.make(chunk=100)
+        common = rng_for(6, "unixfs").bytes(1000)
+        fs.add_file(common)
+        blocks_after_first = len(fs.blockstore)
+        fs.add_file(common)  # identical file: zero new blocks
+        assert len(fs.blockstore) == blocks_after_first
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            UnixFS(MemoryBlockstore(), fanout=1)
+
+    @settings(max_examples=30)
+    @given(st.binary(max_size=8192), st.integers(min_value=1, max_value=512))
+    def test_property_roundtrip(self, data, chunk):
+        fs = UnixFS(MemoryBlockstore(), chunker=FixedSizeChunker(chunk), fanout=3)
+        assert fs.read_file(fs.add_file(data).cid) == data
+
+    @settings(max_examples=15)
+    @given(st.binary(max_size=8192))
+    def test_property_roundtrip_cdc(self, data):
+        fs = UnixFS(MemoryBlockstore(), chunker=RollingChunker(target_size=256))
+        assert fs.read_file(fs.add_file(data).cid) == data
+
+    @settings(max_examples=20)
+    @given(st.binary(max_size=4096), st.integers(min_value=1, max_value=256))
+    def test_property_size_metadata_accurate(self, data, chunk):
+        fs = UnixFS(MemoryBlockstore(), chunker=FixedSizeChunker(chunk), fanout=5)
+        result = fs.add_file(data)
+        assert fs.file_size(result.cid) == len(data)

@@ -1,0 +1,111 @@
+"""Tests for UnixFS directories and path resolution."""
+
+import pytest
+
+from repro.errors import DagError
+from repro.ipfs import FixedSizeChunker, MemoryBlockstore, UnixFS
+from repro.ipfs.directory import (
+    add_directory,
+    add_tree,
+    is_directory,
+    list_directory,
+    resolve_path,
+)
+from repro.util.rng import rng_for
+
+
+@pytest.fixture()
+def fs():
+    store = MemoryBlockstore()
+    return UnixFS(store, chunker=FixedSizeChunker(100), fanout=4)
+
+
+TREE = {
+    "cam-00": {
+        "frame-0.raw": b"frame zero bytes",
+        "frame-1.raw": b"frame one bytes!",
+    },
+    "cam-01": {"frame-0.raw": b"other camera"},
+    "MANIFEST": b"2 cameras",
+}
+
+
+class TestDirectories:
+    def test_add_tree_and_resolve_file(self, fs):
+        root = add_tree(fs, TREE)
+        cid = resolve_path(fs.blockstore, f"{root.encode()}/cam-00/frame-1.raw")
+        assert fs.read_file(cid) == b"frame one bytes!"
+
+    def test_ipfs_prefix_accepted(self, fs):
+        root = add_tree(fs, TREE)
+        cid = resolve_path(fs.blockstore, f"/ipfs/{root.encode()}/MANIFEST")
+        assert fs.read_file(cid) == b"2 cameras"
+
+    def test_root_resolves_to_itself(self, fs):
+        root = add_tree(fs, TREE)
+        assert resolve_path(fs.blockstore, root.encode()) == root
+
+    def test_list_directory(self, fs):
+        root = add_tree(fs, TREE)
+        entries = {e.name: e for e in list_directory(fs.blockstore, root)}
+        assert set(entries) == {"cam-00", "cam-01", "MANIFEST"}
+        assert entries["cam-00"].is_dir
+        assert not entries["MANIFEST"].is_dir
+
+    def test_is_directory(self, fs):
+        root = add_tree(fs, TREE)
+        file_cid = fs.add_file(b"just a file").cid
+        assert is_directory(fs.blockstore, root)
+        assert not is_directory(fs.blockstore, file_cid)
+
+    def test_deterministic_cid(self, fs):
+        store2 = MemoryBlockstore()
+        fs2 = UnixFS(store2, chunker=FixedSizeChunker(100), fanout=4)
+        assert add_tree(fs, TREE) == add_tree(fs2, TREE)
+
+    def test_entry_order_irrelevant(self, fs):
+        a = add_directory(fs.blockstore, {
+            "x": (fs.add_file(b"1").cid, 1), "y": (fs.add_file(b"2").cid, 1),
+        })
+        b = add_directory(fs.blockstore, {
+            "y": (fs.add_file(b"2").cid, 1), "x": (fs.add_file(b"1").cid, 1),
+        })
+        assert a == b
+
+    def test_missing_segment_raises(self, fs):
+        root = add_tree(fs, TREE)
+        with pytest.raises(DagError, match="not found"):
+            resolve_path(fs.blockstore, f"{root.encode()}/cam-99")
+
+    def test_descend_into_file_raises(self, fs):
+        root = add_tree(fs, TREE)
+        with pytest.raises(DagError, match="non-directory"):
+            resolve_path(fs.blockstore, f"{root.encode()}/MANIFEST/nope")
+
+    def test_list_non_directory_raises(self, fs):
+        cid = fs.add_file(b"flat").cid
+        with pytest.raises(DagError):
+            list_directory(fs.blockstore, cid)
+
+    def test_invalid_names_rejected(self, fs):
+        with pytest.raises(DagError):
+            add_tree(fs, {"bad/name": b"x"})
+        with pytest.raises(DagError):
+            add_tree(fs, {"": b"x"})
+        with pytest.raises(DagError):
+            add_tree(fs, {"x": 42})
+
+    def test_large_files_in_tree(self, fs):
+        data = rng_for(1, "dir").bytes(1000)  # multi-chunk file
+        root = add_tree(fs, {"big.bin": data})
+        cid = resolve_path(fs.blockstore, f"{root.encode()}/big.bin")
+        assert fs.read_file(cid) == data
+
+    def test_empty_path_rejected(self, fs):
+        with pytest.raises(DagError):
+            resolve_path(fs.blockstore, "///")
+
+    def test_directory_sizes_propagate(self, fs):
+        root = add_tree(fs, TREE)
+        entries = {e.name: e for e in list_directory(fs.blockstore, root)}
+        assert entries["cam-00"].size >= len(b"frame zero bytes") + len(b"frame one bytes!")

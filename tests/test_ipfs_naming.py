@@ -1,0 +1,110 @@
+"""Tests for IPNS-style mutable naming."""
+
+import pytest
+
+from repro.crypto.cid import CID
+from repro.crypto.keys import KeyPair
+from repro.errors import SignatureError, StorageError
+from repro.ipfs.naming import IpnsRecord, NameRegistry, make_record, name_for_key
+
+
+def cid_of(data: bytes) -> CID:
+    return CID.for_data(data)
+
+
+class TestRecords:
+    def test_make_and_verify(self):
+        kp = KeyPair.from_seed("publisher")
+        record = make_record(kp, cid_of(b"v1"), seq=1)
+        record.verify()  # must not raise
+        assert record.name == name_for_key(kp.public)
+
+    def test_tampered_cid_rejected(self):
+        kp = KeyPair.from_seed("publisher")
+        record = make_record(kp, cid_of(b"v1"), seq=1)
+        forged = IpnsRecord(
+            name=record.name, cid=cid_of(b"evil").encode(), seq=record.seq,
+            valid_from=record.valid_from, valid_until=record.valid_until,
+            public_key_hex=record.public_key_hex, signature=record.signature,
+        )
+        with pytest.raises(SignatureError):
+            forged.verify()
+
+    def test_wrong_key_cannot_claim_name(self):
+        owner = KeyPair.from_seed("owner")
+        thief = KeyPair.from_seed("thief")
+        record = make_record(thief, cid_of(b"v1"), seq=1)
+        forged = IpnsRecord(
+            name=name_for_key(owner.public),  # claims someone else's name
+            cid=record.cid, seq=record.seq,
+            valid_from=record.valid_from, valid_until=record.valid_until,
+            public_key_hex=record.public_key_hex, signature=record.signature,
+        )
+        with pytest.raises(SignatureError, match="does not own"):
+            forged.verify()
+
+    def test_invalid_cid_rejected_early(self):
+        with pytest.raises(Exception):
+            make_record(KeyPair.from_seed("p"), "not-a-cid", seq=1)
+
+
+class TestNameRegistry:
+    def test_publish_resolve(self):
+        kp = KeyPair.from_seed("city")
+        registry = NameRegistry()
+        target = cid_of(b"manifest-v1")
+        registry.publish(make_record(kp, target, seq=1))
+        assert registry.resolve(name_for_key(kp.public)) == target
+
+    def test_update_supersedes(self):
+        kp = KeyPair.from_seed("city")
+        registry = NameRegistry()
+        registry.publish(make_record(kp, cid_of(b"v1"), seq=1))
+        registry.publish(make_record(kp, cid_of(b"v2"), seq=2))
+        assert registry.resolve(name_for_key(kp.public)) == cid_of(b"v2")
+
+    def test_replay_of_old_record_rejected(self):
+        kp = KeyPair.from_seed("city")
+        registry = NameRegistry()
+        old = make_record(kp, cid_of(b"v1"), seq=1)
+        registry.publish(make_record(kp, cid_of(b"v2"), seq=2))
+        with pytest.raises(StorageError, match="stale"):
+            registry.publish(old)
+
+    def test_unknown_name(self):
+        with pytest.raises(StorageError, match="unknown name"):
+            NameRegistry().resolve("k51doesnotexist")
+
+    def test_validity_window_enforced(self):
+        kp = KeyPair.from_seed("city")
+        registry = NameRegistry()
+        registry.publish(make_record(kp, cid_of(b"v1"), seq=1, valid_from=100.0, lifetime_s=50.0))
+        name = name_for_key(kp.public)
+        assert registry.resolve(name, now=120.0) == cid_of(b"v1")
+        with pytest.raises(StorageError, match="validity"):
+            registry.resolve(name, now=200.0)
+        with pytest.raises(StorageError, match="validity"):
+            registry.resolve(name, now=50.0)
+
+    def test_independent_names_coexist(self):
+        registry = NameRegistry()
+        a, b = KeyPair.from_seed("a"), KeyPair.from_seed("b")
+        registry.publish(make_record(a, cid_of(b"a-data"), seq=1))
+        registry.publish(make_record(b, cid_of(b"b-data"), seq=1))
+        assert len(registry.names()) == 2
+        assert registry.resolve(name_for_key(a.public)) == cid_of(b"a-data")
+
+    def test_end_to_end_latest_pointer(self):
+        """The framework use case: 'latest dataset export' pointer."""
+        from repro.ipfs import IpfsCluster
+
+        cluster = IpfsCluster(n_nodes=2)
+        registry = NameRegistry()
+        kp = KeyPair.from_seed("trust-registry")
+        seq = 0
+        for version in (b"export-v1" * 100, b"export-v2" * 100):
+            seq += 1
+            result = cluster.add(version)
+            registry.publish(make_record(kp, result.cid, seq=seq))
+        latest = registry.resolve(name_for_key(kp.public))
+        assert cluster.cat(latest) == b"export-v2" * 100

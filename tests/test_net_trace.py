@@ -1,0 +1,92 @@
+"""Tests for message tracing, including PBFT phase analysis."""
+
+from repro.consensus import BftCluster
+from repro.net import ConstantLatency, MessageTrace, NetNode, SimNetwork
+
+
+class Echo(NetNode):
+    def on_message(self, msg):
+        pass
+
+
+class TestMessageTrace:
+    def make(self):
+        net = SimNetwork(latency=ConstantLatency(base=0.01))
+        trace = MessageTrace(net)
+        a, b = Echo("a", net), Echo("b", net)
+        return net, trace, a, b
+
+    def test_records_deliveries_with_time(self):
+        net, trace, a, b = self.make()
+        a.send("b", "x", kind="ping", size_bytes=100)
+        net.run()
+        assert len(trace) == 1
+        entry = trace.entries[0]
+        assert (entry.src, entry.dst, entry.kind, entry.size_bytes) == ("a", "b", "ping", 100)
+        assert entry.time >= 0.01
+
+    def test_dropped_messages_not_recorded(self):
+        net, trace, a, b = self.make()
+        net.set_node_up("b", False)
+        a.send("b", "lost")
+        net.run()
+        assert len(trace) == 0
+
+    def test_count_and_bytes_by_kind(self):
+        net, trace, a, b = self.make()
+        for _ in range(3):
+            a.send("b", "x", kind="ping", size_bytes=10)
+        a.send("b", "y", kind="pong", size_bytes=99)
+        net.run()
+        assert trace.count_by_kind() == {"ping": 3, "pong": 1}
+        assert trace.bytes_by_kind() == {"ping": 30, "pong": 99}
+
+    def test_pair_matrix(self):
+        net, trace, a, b = self.make()
+        a.send("b", 1)
+        a.send("b", 2)
+        b.send("a", 3)
+        net.run()
+        assert trace.pair_matrix() == {("a", "b"): 2, ("b", "a"): 1}
+
+    def test_between_window(self):
+        net, trace, a, b = self.make()
+        a.send("b", "early")
+        net.schedule(5.0, lambda: a.send("b", "late"))
+        net.run()
+        assert len(trace.between(0.0, 1.0)) == 1
+        assert len(trace.between(4.0, 10.0)) == 1
+
+    def test_detach_stops_recording(self):
+        net, trace, a, b = self.make()
+        a.send("b", 1)
+        net.run()
+        trace.detach()
+        a.send("b", 2)
+        net.run()
+        assert len(trace) == 1
+
+    def test_timeline_renders(self):
+        net, trace, a, b = self.make()
+        for i in range(3):
+            a.send("b", i, kind="msg")
+        net.run()
+        text = trace.timeline(limit=2)
+        assert "a" in text and "-> b" in text
+        assert "1 more" in text
+
+
+class TestPbftPhaseAnalysis:
+    def test_three_phases_visible_and_quadratic(self):
+        net = SimNetwork(latency=ConstantLatency(base=0.001))
+        trace = MessageTrace(net)
+        cluster = BftCluster(n_replicas=4, network=net)
+        cluster.submit("payload")
+        cluster.run()
+        kinds = trace.count_by_kind()
+        # One pre-prepare broadcast (n-1), then all-to-all prepare/commit.
+        assert kinds["PrePrepare"] == 3
+        assert kinds["Prepare"] >= 9   # (n-1) broadcasts of n-1 each, minus self
+        assert kinds["Commit"] >= 9
+        # Prepare+Commit volume dominates: the O(n^2) phases.
+        assert kinds["Prepare"] + kinds["Commit"] > 4 * kinds["PrePrepare"]

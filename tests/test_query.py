@@ -1,0 +1,237 @@
+"""Tests for the query engine: parser, planner, and hybrid execution."""
+
+import pytest
+
+from repro.core import Client, Framework, FrameworkConfig
+from repro.errors import IntegrityError, QueryParseError
+from repro.query import Compare, InSet, Query, parse_query, plan_query
+from repro.query.ast import And, Not, Or, TrueExpr, get_path
+from repro.trust import SourceTier
+
+
+class TestParser:
+    def test_empty_query(self):
+        q = parse_query("")
+        assert isinstance(q.where, TrueExpr)
+
+    def test_simple_equality(self):
+        q = parse_query("camera_id = 'cam-07'")
+        assert q.where == Compare(field="camera_id", op="=", value="cam-07")
+
+    def test_where_keyword_optional(self):
+        assert parse_query("WHERE x = 1") == parse_query("x = 1")
+
+    def test_numbers_and_floats(self):
+        q = parse_query("metadata.timestamp >= 100.5")
+        assert q.where.value == 100.5
+        assert isinstance(parse_query("n = 3").where.value, int)
+
+    def test_booleans(self):
+        assert parse_query("active = true").where.value is True
+
+    def test_and_or_precedence(self):
+        q = parse_query("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.parts[1], And)
+
+    def test_parentheses(self):
+        q = parse_query("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.parts[0], Or)
+
+    def test_not(self):
+        q = parse_query("NOT a = 1")
+        assert isinstance(q.where, Not)
+
+    def test_in_clause(self):
+        q = parse_query("vehicle_class IN ('truck', 'bus')")
+        assert q.where == InSet(field="vehicle_class", values=("truck", "bus"))
+
+    def test_order_and_limit(self):
+        q = parse_query("x = 1 ORDER BY metadata.timestamp DESC LIMIT 5")
+        assert q.order_by == "metadata.timestamp"
+        assert q.descending
+        assert q.limit == 5
+
+    def test_escaped_quote(self):
+        q = parse_query(r"name = 'O\'Brien'")
+        assert q.where.value == "O'Brien"
+
+    def test_errors(self):
+        for bad in ("x =", "x ~ 1", "ORDER x", "x = 1 LIMIT 1.5", "x = 1 garbage = 2", "= 5"):
+            with pytest.raises(QueryParseError):
+                parse_query(bad)
+
+
+class TestAst:
+    RECORD = {
+        "entry_id": "e1",
+        "source_id": "cam-1",
+        "metadata": {
+            "timestamp": 500,
+            "location": {"lat": 12.9, "lon": 77.6},
+            "detections": [
+                {"vehicle_class": "car", "confidence": 0.9},
+                {"vehicle_class": "truck", "confidence": 0.8},
+            ],
+        },
+    }
+
+    def test_get_path(self):
+        assert get_path(self.RECORD, "metadata.location.lat") == 12.9
+        assert get_path(self.RECORD, "missing.path") is None
+
+    def test_compare_nested(self):
+        assert Compare("metadata.timestamp", ">", 100).matches(self.RECORD)
+        assert not Compare("metadata.timestamp", ">", 1000).matches(self.RECORD)
+
+    def test_detection_quantifier(self):
+        assert Compare("vehicle_class", "=", "truck").matches(self.RECORD)
+        assert not Compare("vehicle_class", "=", "bus").matches(self.RECORD)
+        assert InSet("vehicle_class", ("bus", "car")).matches(self.RECORD)
+
+    def test_missing_field_never_matches(self):
+        assert not Compare("nope", "=", 1).matches(self.RECORD)
+        assert not Compare("nope", "!=", 1).matches(self.RECORD)
+
+    def test_cross_type_comparison_false(self):
+        assert not Compare("source_id", ">", 10).matches(self.RECORD)
+
+    def test_post_ordering_and_limit(self):
+        records = [{"v": 3}, {"v": 1}, {"v": 2}]
+        q = Query(order_by="v", limit=2)
+        assert q.apply_post(records) == [{"v": 1}, {"v": 2}]
+        q = Query(order_by="v", descending=True, limit=1)
+        assert q.apply_post(records) == [{"v": 3}]
+
+
+class TestPlanner:
+    def test_source_index_preferred(self):
+        plan = plan_query(parse_query("source_id = 'cam-1' AND vehicle_class = 'car'"))
+        assert not plan.full_scan
+        assert plan.paths[0].fn == "list_by_source"
+
+    def test_camera_index(self):
+        plan = plan_query(parse_query("camera_id = 'cam-1'"))
+        assert plan.paths[0].fn == "list_by_camera"
+
+    def test_class_index(self):
+        plan = plan_query(parse_query("vehicle_class = 'truck'"))
+        assert plan.paths[0].fn == "list_by_vehicle_class"
+
+    def test_time_range_index(self):
+        plan = plan_query(
+            parse_query("metadata.timestamp >= 100 AND metadata.timestamp < 200")
+        )
+        assert plan.paths[0].fn == "list_by_time_range"
+
+    def test_half_open_time_range_not_indexed(self):
+        plan = plan_query(parse_query("metadata.timestamp >= 100"))
+        assert plan.full_scan
+
+    def test_or_falls_back_to_scan(self):
+        plan = plan_query(parse_query("source_id = 'a' OR vehicle_class = 'car'"))
+        assert plan.full_scan
+
+    def test_empty_where_scans(self):
+        plan = plan_query(parse_query(""))
+        assert plan.full_scan
+        assert "FULL SCAN" in plan.explain()
+
+    def test_explain_index(self):
+        plan = plan_query(parse_query("source_id = 'cam-1'"))
+        assert "by_source" in plan.explain()
+
+
+@pytest.fixture(scope="module")
+def populated():
+    """A small framework with three sources and several uploads."""
+    framework = Framework(FrameworkConfig(consensus="solo", n_ipfs_nodes=2))
+    cam = Client(framework, framework.register_source("cam-A", tier=SourceTier.TRUSTED))
+    mob = Client(framework, framework.register_source("mob-B"))
+    receipts = {}
+    specs = [
+        (cam, b"frame-1", {"timestamp": 100.0, "camera_id": "cam-A",
+                           "detections": [{"vehicle_class": "car", "confidence": 0.9}]}),
+        (cam, b"frame-2", {"timestamp": 700.0, "camera_id": "cam-A",
+                           "detections": [{"vehicle_class": "truck", "confidence": 0.85}]}),
+        (mob, b"photo-1", {"timestamp": 720.0,
+                           "detections": [{"vehicle_class": "truck", "confidence": 0.6},
+                                          {"vehicle_class": "car", "confidence": 0.7}]}),
+        (mob, b"photo-2", {"timestamp": 5000.0, "detections": []}),
+    ]
+    for client, data, meta in specs:
+        receipts[data] = client.submit(data, meta)
+    return framework, cam, receipts
+
+
+class TestExecution:
+    def test_query_by_source(self, populated):
+        _, cam, receipts = populated
+        rows = cam.query("source_id = 'cam-A'")
+        assert {r.entry_id for r in rows} == {
+            receipts[b"frame-1"].entry_id,
+            receipts[b"frame-2"].entry_id,
+        }
+
+    def test_query_by_class_with_residual(self, populated):
+        _, cam, receipts = populated
+        rows = cam.query("vehicle_class = 'truck' AND source_id = 'mob-B'")
+        assert [r.entry_id for r in rows] == [receipts[b"photo-1"].entry_id]
+
+    def test_time_range(self, populated):
+        _, cam, receipts = populated
+        rows = cam.query("metadata.timestamp >= 600 AND metadata.timestamp <= 800")
+        assert {r.entry_id for r in rows} == {
+            receipts[b"frame-2"].entry_id,
+            receipts[b"photo-1"].entry_id,
+        }
+
+    def test_order_and_limit(self, populated):
+        _, cam, _ = populated
+        rows = cam.query("metadata.timestamp >= 0 AND metadata.timestamp <= 99999 "
+                         "ORDER BY metadata.timestamp DESC LIMIT 2")
+        stamps = [r.record["metadata"]["timestamp"] for r in rows]
+        assert stamps == [5000.0, 720.0]
+
+    def test_full_scan_finds_all(self, populated):
+        _, cam, receipts = populated
+        rows = cam.query("")
+        assert len(rows) == len(receipts)
+
+    def test_fetch_data_verifies_and_returns_bytes(self, populated):
+        _, cam, receipts = populated
+        rows = cam.query("source_id = 'cam-A' ORDER BY metadata.timestamp", fetch_data=True)
+        assert rows[0].data == b"frame-1"
+        assert rows[0].verified
+
+    def test_point_get(self, populated):
+        _, cam, receipts = populated
+        row = cam.engine.get(receipts[b"photo-1"].entry_id, fetch_data=True)
+        assert row.data == b"photo-1"
+
+    def test_integrity_violation_detected(self, populated):
+        framework, cam, receipts = populated
+        entry_id = receipts[b"frame-1"].entry_id
+        record = dict(cam.get_metadata(entry_id))
+        record["data_hash"] = "0" * 64  # claim a different payload
+        with pytest.raises(IntegrityError):
+            cam.engine.fetch_payload(record)
+
+    def test_stats_accumulate(self, populated):
+        _, cam, _ = populated
+        before = cam.engine.stats.queries
+        cam.query("source_id = 'cam-A'")
+        assert cam.engine.stats.queries == before + 1
+
+    def test_index_path_scans_fewer_rows_than_full(self, populated):
+        _, cam, _ = populated
+        engine = cam.engine
+        engine.cache_enabled = False  # measure real scans, not cache hits
+        start = engine.stats.rows_scanned
+        engine.run("source_id = 'mob-B'")
+        indexed_scan = engine.stats.rows_scanned - start
+        start = engine.stats.rows_scanned
+        engine.run("")
+        full_scan = engine.stats.rows_scanned - start
+        assert indexed_scan < full_scan

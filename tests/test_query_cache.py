@@ -1,0 +1,77 @@
+"""Tests for query-result caching with height-based invalidation."""
+
+import pytest
+
+from repro.core import Client, Framework, FrameworkConfig
+from repro.trust import SourceTier
+
+META = {"timestamp": 1.0, "camera_id": "cache-cam",
+        "detections": [{"vehicle_class": "car", "confidence": 0.9}]}
+
+
+@pytest.fixture()
+def env():
+    framework = Framework(FrameworkConfig(consensus="solo"))
+    client = Client(
+        framework, framework.register_source("cache-cam", tier=SourceTier.TRUSTED)
+    )
+    client.submit(b"first", dict(META))
+    return framework, client
+
+
+class TestQueryCache:
+    def test_repeat_query_hits_cache(self, env):
+        _, client = env
+        q = "source_id = 'cache-cam'"
+        first = client.query(q)
+        assert client.engine.stats.cache_hits == 0
+        second = client.query(q)
+        assert client.engine.stats.cache_hits == 1
+        assert [r.entry_id for r in first] == [r.entry_id for r in second]
+
+    def test_cache_skips_chaincode_scan(self, env):
+        _, client = env
+        q = "source_id = 'cache-cam'"
+        client.query(q)
+        scanned_before = client.engine.stats.rows_scanned
+        client.query(q)
+        assert client.engine.stats.rows_scanned == scanned_before
+
+    def test_new_block_invalidates(self, env):
+        _, client = env
+        q = "source_id = 'cache-cam'"
+        assert len(client.query(q)) == 1
+        client.submit(b"second", dict(META))
+        rows = client.query(q)  # height changed: fresh scan, fresh result
+        assert len(rows) == 2
+
+    def test_fetch_data_bypasses_cache(self, env):
+        _, client = env
+        q = "source_id = 'cache-cam'"
+        client.query(q, fetch_data=True)
+        client.query(q, fetch_data=True)
+        assert client.engine.stats.cache_hits == 0
+
+    def test_distinct_queries_cached_separately(self, env):
+        _, client = env
+        client.query("source_id = 'cache-cam'")
+        client.query("vehicle_class = 'car'")
+        client.query("source_id = 'cache-cam'")
+        client.query("vehicle_class = 'car'")
+        assert client.engine.stats.cache_hits == 2
+
+    def test_cache_can_be_disabled(self, env):
+        _, client = env
+        client.engine.cache_enabled = False
+        q = "source_id = 'cache-cam'"
+        client.query(q)
+        client.query(q)
+        assert client.engine.stats.cache_hits == 0
+
+    def test_cached_rows_are_copies_of_the_list(self, env):
+        """Mutating a returned list must not corrupt the cache."""
+        _, client = env
+        q = "source_id = 'cache-cam'"
+        rows = client.query(q)
+        rows.clear()
+        assert len(client.query(q)) == 1

@@ -1,0 +1,98 @@
+"""Tests for SELECT projections in the query language."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query import Query, parse_query
+from repro.query.ast import TrueExpr
+
+
+RECORDS = [
+    {"entry_id": "e1", "cid": "bafy1", "source_id": "cam-A",
+     "data_hash": "aa", "metadata": {"timestamp": 100.0, "camera_id": "cam-A",
+                                     "detections": [{"vehicle_class": "car"}]}},
+    {"entry_id": "e2", "cid": "bafy2", "source_id": "cam-B",
+     "data_hash": "bb", "metadata": {"timestamp": 200.0, "camera_id": "cam-B",
+                                     "detections": []}},
+]
+
+
+class TestParsing:
+    def test_select_single_field(self):
+        q = parse_query("SELECT source_id WHERE source_id = 'cam-A'")
+        assert q.select == ("source_id",)
+
+    def test_select_multiple_fields(self):
+        q = parse_query("SELECT source_id, metadata.timestamp")
+        assert q.select == ("source_id", "metadata.timestamp")
+        assert isinstance(q.where, TrueExpr)
+
+    def test_select_with_full_clause_chain(self):
+        q = parse_query(
+            "SELECT metadata.timestamp WHERE source_id = 'cam-A' "
+            "ORDER BY metadata.timestamp DESC LIMIT 3"
+        )
+        assert q.select == ("metadata.timestamp",)
+        assert q.limit == 3 and q.descending
+
+    def test_no_select_means_whole_record(self):
+        assert parse_query("source_id = 'cam-A'").select is None
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT WHERE x = 1")
+
+    def test_query_validation(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            Query(select=())
+
+
+class TestProjection:
+    def test_projects_requested_fields(self):
+        q = parse_query("SELECT source_id")
+        rows = q.apply_post(list(RECORDS))
+        assert rows[0] == {"entry_id": "e1", "cid": "bafy1", "source_id": "cam-A"}
+
+    def test_nested_paths_rebuilt(self):
+        q = parse_query("SELECT metadata.timestamp")
+        rows = q.apply_post(list(RECORDS))
+        assert rows[0]["metadata"] == {"timestamp": 100.0}
+        assert "data_hash" not in rows[0]
+
+    def test_entry_id_and_cid_always_kept(self):
+        q = parse_query("SELECT metadata.camera_id")
+        for row in q.apply_post(list(RECORDS)):
+            assert "entry_id" in row and "cid" in row
+
+    def test_missing_fields_omitted(self):
+        q = parse_query("SELECT metadata.nonexistent")
+        rows = q.apply_post(list(RECORDS))
+        assert "metadata" not in rows[0]
+
+    def test_projection_after_order_and_limit(self):
+        q = parse_query("SELECT source_id ORDER BY metadata.timestamp DESC LIMIT 1")
+        rows = q.apply_post(list(RECORDS))
+        assert len(rows) == 1
+        assert rows[0]["source_id"] == "cam-B"
+
+
+class TestEndToEnd:
+    def test_projection_through_engine(self):
+        from repro.core import Client, Framework, FrameworkConfig
+        from repro.trust import SourceTier
+
+        framework = Framework(FrameworkConfig(consensus="solo"))
+        client = Client(
+            framework, framework.register_source("sel-cam", tier=SourceTier.TRUSTED)
+        )
+        client.submit(b"payload", {"timestamp": 5.0, "camera_id": "sel-cam",
+                                   "detections": []})
+        rows = client.query("SELECT metadata.timestamp WHERE source_id = 'sel-cam'")
+        assert len(rows) == 1
+        record = rows[0].record
+        assert record["metadata"] == {"timestamp": 5.0}
+        assert set(record) == {"entry_id", "cid", "metadata"}
+        # Projected rows stay retrievable (entry_id survived).
+        assert client.retrieve(record["entry_id"]).verified

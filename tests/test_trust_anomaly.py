@@ -1,0 +1,150 @@
+"""Tests for anomaly detection and multi-source consensus."""
+
+import pytest
+
+from repro.errors import TrustError
+from repro.trust import (
+    AnomalyDetector,
+    MultiSourceConsensus,
+    SourceTier,
+    TrustEngine,
+)
+from repro.trust.crossval import Observation
+
+
+def obs(source="s", t=0.0, lat=12.97, lon=77.59, **counts):
+    return Observation(source_id=source, lat=lat, lon=lon, timestamp=t, counts=counts)
+
+
+class TestAnomalyDetector:
+    def feed_normal(self, det, source="s", n=20, cars=4):
+        for i in range(n):
+            report = det.observe(obs(source=source, t=100.0 * i, car=cars + (i % 2)))
+        return report
+
+    def test_no_baseline_passes_everything(self):
+        det = AnomalyDetector()
+        report = det.observe(obs(car=1000))
+        assert not report.is_anomalous  # first observation, no history
+
+    def test_normal_traffic_not_flagged(self):
+        det = AnomalyDetector()
+        report = self.feed_normal(det)
+        assert not report.is_anomalous
+        assert report.max_z < 4.0
+
+    def test_count_spike_flagged(self):
+        det = AnomalyDetector()
+        self.feed_normal(det)
+        report = det.observe(obs(t=5000.0, car=60))
+        assert report.is_anomalous
+        assert any("count[car]" in r for r in report.reasons)
+
+    def test_phantom_class_flagged(self):
+        det = AnomalyDetector()
+        self.feed_normal(det)
+        report = det.observe(obs(t=5000.0, car=4, truck=25))
+        assert report.is_anomalous
+        assert any("count[truck]" in r for r in report.reasons)
+
+    def test_burst_flagged_without_baseline(self):
+        det = AnomalyDetector(burst_max_reports=5, burst_window_s=10.0)
+        report = None
+        for i in range(8):
+            report = det.observe(obs(t=1000.0 + i * 0.5, car=3))
+        assert report.is_anomalous
+        assert any("burst" in r for r in report.reasons)
+
+    def test_sources_isolated(self):
+        det = AnomalyDetector()
+        self.feed_normal(det, source="steady")
+        # A different source with no history is not judged by steady's norm.
+        report = det.observe(obs(source="newcomer", car=50))
+        assert not report.is_anomalous
+
+    def test_window_bounds_history(self):
+        det = AnomalyDetector(window=10)
+        self.feed_normal(det, n=50)
+        assert det.history_len("s") == 10
+
+    def test_recovery_after_regime_change(self):
+        """A legitimately busier road stops being 'anomalous' as the
+        window refills with the new normal."""
+        det = AnomalyDetector(window=12, min_history=8)
+        self.feed_normal(det, n=15, cars=3)
+        flagged = det.observe(obs(t=9000.0, car=30)).is_anomalous
+        assert flagged
+        for i in range(15):
+            det.observe(obs(t=10000.0 + 100 * i, car=30))
+        assert not det.observe(obs(t=30000.0, car=31)).is_anomalous
+
+
+class TestMultiSourceConsensus:
+    def test_requires_min_sources(self):
+        msc = MultiSourceConsensus()
+        with pytest.raises(TrustError):
+            msc.evaluate([obs(source="a", car=3), obs(source="b", car=3)])
+
+    def test_agreeing_sources_no_outliers(self):
+        msc = MultiSourceConsensus()
+        result = msc.evaluate([
+            obs(source="a", car=4), obs(source="b", car=4), obs(source="c", car=5),
+        ])
+        assert result.outliers == ()
+        assert result.consensus_counts["car"] == 4.0
+
+    def test_single_liar_outvoted(self):
+        msc = MultiSourceConsensus()
+        result = msc.evaluate([
+            obs(source="a", car=4),
+            obs(source="b", car=5),
+            obs(source="c", car=4),
+            obs(source="liar", car=0, truck=12),
+        ])
+        assert result.outliers == ("liar",)
+        assert result.consensus_counts["car"] == 4.0
+        assert result.consensus_counts["truck"] == 0.0
+
+    def test_latest_observation_per_source_wins(self):
+        msc = MultiSourceConsensus()
+        result = msc.evaluate([
+            obs(source="a", t=0.0, car=100),  # superseded
+            obs(source="a", t=1.0, car=4),
+            obs(source="b", car=4),
+            obs(source="c", car=4),
+        ])
+        assert result.n_sources == 3
+        assert result.outliers == ()
+
+    def test_empty_counts_all_agree(self):
+        msc = MultiSourceConsensus()
+        result = msc.evaluate([obs(source=s) for s in "abc"])
+        assert result.outliers == ()
+
+    def test_apply_to_trust_penalizes_outlier(self):
+        engine = TrustEngine()
+        for s in ("a", "b", "c", "liar"):
+            engine.register_source(s)
+        msc = MultiSourceConsensus()
+        before = engine.score("liar")
+        for round_no in range(10):
+            result = msc.evaluate([
+                obs(source="a", t=float(round_no), car=4),
+                obs(source="b", t=float(round_no), car=4),
+                obs(source="c", t=float(round_no), car=5),
+                obs(source="liar", t=float(round_no), car=0, truck=9),
+            ])
+            msc.apply_to_trust(engine, result)
+        assert engine.score("liar") < before
+        assert engine.score("a") > engine.score("liar")
+
+    def test_apply_skips_trusted_and_unregistered(self):
+        engine = TrustEngine()
+        engine.register_source("cam", SourceTier.TRUSTED)
+        engine.register_source("m")
+        msc = MultiSourceConsensus()
+        result = msc.evaluate([
+            obs(source="cam", car=4), obs(source="m", car=4), obs(source="ghost", car=4),
+        ])
+        updated = msc.apply_to_trust(engine, result)
+        assert set(updated) == {"m"}

@@ -1,0 +1,107 @@
+"""Tests for staleness decay of trust scores."""
+
+import pytest
+
+from repro.errors import TrustError
+from repro.trust import SourceTier, TrustEngine, TrustScore
+from repro.trust.score import HistoricalReliability
+
+
+class TestHistoricalDecay:
+    def test_decay_toward_prior_moves_to_half(self):
+        h = HistoricalReliability()
+        for _ in range(30):
+            h.record(True)
+        high = h.score
+        h.decay_toward_prior(0.1)
+        assert 0.5 < h.score < high
+
+    def test_full_decay_restores_prior(self):
+        h = HistoricalReliability()
+        for _ in range(10):
+            h.record(False)
+        h.decay_toward_prior(1e-9)
+        assert h.score == pytest.approx(0.5, abs=1e-3)
+        assert h.confidence == pytest.approx(0.0, abs=1e-3)
+
+    def test_factor_one_is_noop(self):
+        h = HistoricalReliability()
+        h.record(True)
+        before = (h.alpha, h.beta)
+        h.decay_toward_prior(1.0)
+        assert (h.alpha, h.beta) == before
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            HistoricalReliability().decay_toward_prior(0.0)
+        with pytest.raises(ValueError):
+            HistoricalReliability().decay_toward_prior(1.5)
+
+
+class TestScoreDecay:
+    def test_all_signals_fade_toward_neutral(self):
+        t = TrustScore("s")
+        for _ in range(20):
+            t.update(True, cross_validation=0.95, endorsement=0.9)
+        high = t.value
+        t.decay_toward_neutral(0.2)
+        assert 0.5 < t.value < high
+        assert t.last_cross_validation < 0.95
+
+    def test_bad_reputation_also_fades(self):
+        t = TrustScore("s")
+        for _ in range(20):
+            t.update(False, cross_validation=0.05, endorsement=0.1)
+        low = t.value
+        t.decay_toward_neutral(0.2)
+        assert low < t.value < 0.5
+
+
+class TestEngineTimeDecay:
+    def make(self):
+        engine = TrustEngine()
+        engine.register_source("cam", SourceTier.TRUSTED)
+        engine.register_source("mob")
+        return engine
+
+    def test_idle_source_decays(self):
+        engine = self.make()
+        for i in range(20):
+            engine.record_validation("mob", True, 4, 0, now=float(i))
+        fresh = engine.score("mob")
+        updated = engine.apply_time_decay(now=19.0 + 14 * 86400.0, half_life_s=7 * 86400.0)
+        assert "mob" in updated
+        assert 0.5 < engine.score("mob") < fresh
+
+    def test_active_source_untouched(self):
+        engine = self.make()
+        engine.record_validation("mob", True, 4, 0, now=100.0)
+        updated = engine.apply_time_decay(now=100.0)
+        assert updated == {}
+
+    def test_trusted_sources_never_decay(self):
+        engine = self.make()
+        engine.apply_time_decay(now=1e9)
+        assert engine.score("cam") == 1.0
+
+    def test_decay_does_not_release_quarantine(self):
+        engine = self.make()
+        for i in range(30):
+            engine.record_validation("mob", False, 0, 4, now=float(i))
+        assert engine.tier("mob") is SourceTier.QUARANTINED
+        engine.apply_time_decay(now=30.0 + 365 * 86400.0)
+        # The score has faded toward neutral, but the tier stands.
+        assert engine.tier("mob") is SourceTier.QUARANTINED
+        assert not engine.admit("mob").admitted
+
+    def test_half_life_math(self):
+        engine = self.make()
+        engine.record_validation("mob", True, 4, 0, now=0.0)
+        engine._scores["mob"].last_cross_validation = 1.0
+        engine.apply_time_decay(now=86400.0, half_life_s=86400.0)
+        # One half-life: the cv signal moved halfway to 0.5.
+        assert engine._scores["mob"].last_cross_validation == pytest.approx(0.75)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(TrustError):
+            self.make().apply_time_decay(now=1.0, half_life_s=0.0)

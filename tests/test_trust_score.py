@@ -1,0 +1,156 @@
+"""Tests for trust scoring: historical reliability and combination."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trust import HistoricalReliability, TrustScore, TrustWeights
+from repro.trust.crossval import endorsement_score
+
+
+class TestHistoricalReliability:
+    def test_prior_is_neutral(self):
+        assert HistoricalReliability().score == pytest.approx(0.5)
+
+    def test_accepts_raise_score(self):
+        h = HistoricalReliability()
+        for _ in range(20):
+            h.record(True)
+        assert h.score > 0.9
+
+    def test_rejects_lower_score(self):
+        h = HistoricalReliability()
+        for _ in range(20):
+            h.record(False)
+        assert h.score < 0.1
+
+    def test_decay_forgets_old_behaviour(self):
+        """A reformed source recovers; with decay=1.0 it would stay low."""
+        punished = HistoricalReliability(decay=0.9)
+        unforgiving = HistoricalReliability(decay=1.0)
+        for h in (punished, unforgiving):
+            for _ in range(30):
+                h.record(False)
+            for _ in range(30):
+                h.record(True)
+        assert punished.score > unforgiving.score
+        assert punished.score > 0.85
+
+    def test_confidence_grows_with_evidence(self):
+        h = HistoricalReliability()
+        assert h.confidence == pytest.approx(0.0)
+        for _ in range(10):
+            h.record(True)
+        assert 0.3 < h.confidence < 1.0
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            HistoricalReliability(decay=0.0)
+        with pytest.raises(ValueError):
+            HistoricalReliability(decay=1.5)
+
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_property_score_bounded(self, outcomes):
+        h = HistoricalReliability()
+        for o in outcomes:
+            h.record(o)
+        assert 0.0 <= h.score <= 1.0
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_property_monotone_in_accepts(self, n):
+        """More accepts (same rejects) never lowers the score."""
+        a = HistoricalReliability()
+        b = HistoricalReliability()
+        for _ in range(n):
+            a.record(True)
+            b.record(True)
+        b.record(True)
+        assert b.score >= a.score
+
+
+class TestTrustScore:
+    def test_new_source_near_neutral(self):
+        assert 0.4 <= TrustScore("s").value <= 0.6
+
+    def test_consistent_good_source_converges_high(self):
+        t = TrustScore("s")
+        for _ in range(30):
+            t.update(True, cross_validation=0.9, endorsement=0.9)
+        assert t.value > 0.85
+
+    def test_consistent_bad_source_converges_low(self):
+        t = TrustScore("s")
+        for _ in range(30):
+            t.update(False, cross_validation=0.1, endorsement=0.1)
+        assert t.value < 0.15
+
+    def test_history_weight_scales_with_confidence(self):
+        """Early on, cross-validation dominates; later, history does."""
+        t = TrustScore("s")
+        # One good cross-validated sample, then bad history with neutral cv.
+        t.update(True, cross_validation=1.0, endorsement=0.5)
+        early = t.value
+        for _ in range(40):
+            t.update(False, cross_validation=1.0, endorsement=0.5)
+        late = t.value
+        assert late < early  # accumulated bad history dragged it down
+
+    def test_invalid_signal_ranges_rejected(self):
+        t = TrustScore("s")
+        with pytest.raises(ValueError):
+            t.update(True, cross_validation=1.5)
+        with pytest.raises(ValueError):
+            t.update(True, endorsement=-0.1)
+
+    def test_chain_record_shape(self):
+        t = TrustScore("cam-1")
+        t.update(True, cross_validation=0.8, endorsement=0.7)
+        record = t.to_chain_record()
+        assert record["source_id"] == "cam-1"
+        assert 0.0 <= record["score"] <= 1.0
+        assert record["observations"] == 1
+
+    def test_custom_weights(self):
+        heavy_cv = TrustScore("s", weights=TrustWeights(history=0.0, cross_validation=1.0, endorsement=0.0))
+        heavy_cv.update(False, cross_validation=1.0, endorsement=0.0)
+        assert heavy_cv.value == pytest.approx(1.0)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            TrustWeights(history=-1.0)
+        with pytest.raises(ValueError):
+            TrustWeights(history=0.0, cross_validation=0.0, endorsement=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.floats(min_value=0, max_value=1),
+                st.floats(min_value=0, max_value=1),
+            ),
+            max_size=50,
+        )
+    )
+    def test_property_value_bounded(self, updates):
+        t = TrustScore("s")
+        for correct, cv, en in updates:
+            t.update(correct, cross_validation=cv, endorsement=en)
+        assert 0.0 <= t.value <= 1.0
+
+
+class TestEndorsementScore:
+    def test_unanimous_valid_high(self):
+        assert endorsement_score(10, 0) > 0.9
+
+    def test_unanimous_invalid_low(self):
+        assert endorsement_score(0, 10) < 0.1
+
+    def test_split_neutral(self):
+        assert endorsement_score(5, 5) == pytest.approx(0.5)
+
+    def test_laplace_smoothing_tempers_single_vote(self):
+        assert endorsement_score(1, 0) == pytest.approx(2 / 3)
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ValueError):
+            endorsement_score(-1, 0)

@@ -1,0 +1,71 @@
+"""Unit and property tests for base58btc and base32 encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.util.encoding import b32decode, b32encode, b58decode, b58encode
+
+
+class TestBase58:
+    def test_empty(self):
+        assert b58encode(b"") == ""
+        assert b58decode("") == b""
+
+    def test_known_vectors(self):
+        # Standard base58 test vectors.
+        assert b58encode(b"hello world") == "StV1DL6CwTryKyV"
+        assert b58decode("StV1DL6CwTryKyV") == b"hello world"
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\x01"
+        encoded = b58encode(data)
+        assert encoded.startswith("11")
+        assert b58decode(encoded) == data
+
+    def test_all_zero_bytes(self):
+        assert b58encode(b"\x00" * 4) == "1111"
+        assert b58decode("1111") == b"\x00" * 4
+
+    def test_invalid_character_rejected(self):
+        # '0', 'O', 'I', 'l' are excluded from the alphabet.
+        for ch in "0OIl":
+            with pytest.raises(EncodingError):
+                b58decode(f"abc{ch}")
+
+    @given(st.binary(max_size=128))
+    def test_roundtrip(self, data):
+        assert b58decode(b58encode(data)) == data
+
+
+class TestBase32:
+    def test_empty(self):
+        assert b32encode(b"") == ""
+        assert b32decode("") == b""
+
+    def test_known_vector(self):
+        # RFC 4648 vector "foobar" -> MZXW6YTBOI (lowercase, unpadded here).
+        assert b32encode(b"foobar") == "mzxw6ytboi"
+        assert b32decode("mzxw6ytboi") == b"foobar"
+
+    def test_single_byte(self):
+        assert b32encode(b"f") == "my"
+        assert b32decode("my") == b"f"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(EncodingError):
+            b32decode("abc1")  # '1' not in RFC 4648 alphabet
+
+    def test_nonzero_padding_bits_rejected(self):
+        # 'mz' has non-zero trailing bits ('z' = 25 -> padding bits set).
+        with pytest.raises(EncodingError):
+            b32decode("mz")
+
+    @given(st.binary(max_size=128))
+    def test_roundtrip(self, data):
+        assert b32decode(b32encode(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_encoding_is_lowercase(self, data):
+        assert b32encode(data) == b32encode(data).lower()

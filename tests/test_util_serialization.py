@@ -1,0 +1,81 @@
+"""Tests for canonical JSON serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.util.serialization import canonical_json, from_canonical_json
+
+
+class TestCanonicalJson:
+    def test_keys_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+    def test_compact_no_whitespace(self):
+        assert b" " not in canonical_json({"a": [1, 2, {"b": "c d"}]}).replace(b"c d", b"")
+
+    def test_deterministic_across_key_insertion_order(self):
+        d1 = {}
+        d1["x"] = 1
+        d1["y"] = 2
+        d2 = {}
+        d2["y"] = 2
+        d2["x"] = 1
+        assert canonical_json(d1) == canonical_json(d2)
+
+    def test_unicode_not_escaped(self):
+        assert canonical_json("café") == b'"caf\xc3\xa9"'
+
+    def test_nan_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_json({"x": float("nan")})
+
+    def test_inf_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_json(float("inf"))
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_json({1: "a"})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_json({"x": object()})
+
+    def test_excessive_nesting_rejected(self):
+        value = "leaf"
+        for _ in range(80):
+            value = [value]
+        with pytest.raises(EncodingError):
+            canonical_json(value)
+
+    def test_invalid_bytes_raise_on_parse(self):
+        with pytest.raises(EncodingError):
+            from_canonical_json(b"{not json")
+        with pytest.raises(EncodingError):
+            from_canonical_json(b"\xff\xfe")
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(json_values)
+def test_roundtrip(value):
+    assert from_canonical_json(canonical_json(value)) == value
+
+
+@given(json_values)
+def test_canonical_fixed_point(value):
+    """Serializing the parse of a canonical form reproduces the same bytes."""
+    first = canonical_json(value)
+    assert canonical_json(from_canonical_json(first)) == first

@@ -1,0 +1,112 @@
+"""Tests for detector evaluation against ground truth."""
+
+import pytest
+
+from repro.vision import DroneCamera, SceneGenerator, SimulatedYolo, StaticCamera
+from repro.vision.camera import BBox
+from repro.vision.eval import EvalResult, evaluate_frame, evaluate_frames, iou
+from repro.vision.scene import Vehicle
+
+
+def make_truth_box(x0, y0, x1, y1, cls="car"):
+    vehicle = Vehicle(
+        vehicle_id=0, vehicle_class=cls, color_name="white", rgb=(255, 255, 255),
+        x=0.0, lane=0, speed=5.0,
+    )
+    return BBox(x0=x0, y0=y0, x1=x1, y1=y1, vehicle=vehicle)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        truth = make_truth_box(0, 0, 10, 10)
+        assert iou((0, 0, 10, 10), truth) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        truth = make_truth_box(0, 0, 10, 10)
+        assert iou((20, 20, 30, 30), truth) == 0.0
+
+    def test_half_overlap(self):
+        truth = make_truth_box(0, 0, 10, 10)
+        assert iou((5, 0, 15, 10), truth) == pytest.approx(50 / 150)
+
+
+class TestEvalResult:
+    def test_metric_formulas(self):
+        r = EvalResult(true_positives=8, false_positives=2, false_negatives=4, correct_class=6)
+        assert r.precision == pytest.approx(0.8)
+        assert r.recall == pytest.approx(8 / 12)
+        assert r.classification_accuracy == pytest.approx(0.75)
+        assert 0 < r.f1 < 1
+
+    def test_empty_is_zero(self):
+        r = EvalResult()
+        assert r.precision == r.recall == r.f1 == r.classification_accuracy == 0.0
+
+
+class TestFrameEvaluation:
+    def make_frames(self, kind="static", n=10, seed=51):
+        gen = SceneGenerator(seed=seed, density=4.0)
+        if kind == "static":
+            camera = StaticCamera("eval-cam")
+        else:
+            # High-altitude profile: the regime where drone capture pays.
+            camera = DroneCamera("eval-drone", seed=seed, base_altitude_m=90.0)
+        frames = []
+        scene = gen.scene(f"eval-{seed}")
+        for _ in range(n):
+            frames.append(camera.capture(scene))
+            scene = scene.advance(0.5)
+        return frames
+
+    def _pooled(self, kind, yolo_seed=5):
+        """Aggregate over several scenes for statistically stable metrics."""
+        total = EvalResult()
+        for seed in (51, 52, 53):
+            partial = evaluate_frames(
+                self.make_frames(kind, seed=seed), SimulatedYolo(seed=yolo_seed)
+            )
+            total.true_positives += partial.true_positives
+            total.false_positives += partial.false_positives
+            total.false_negatives += partial.false_negatives
+            total.correct_class += partial.correct_class
+        return total
+
+    def test_static_detector_high_precision(self):
+        frames = self.make_frames("static")
+        result = evaluate_frames(frames, SimulatedYolo(seed=5))
+        # The simulated detector never hallucinates boxes, so precision
+        # is 1.0 by construction; recall is the interesting number.
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall > 0.5
+
+    def test_static_recall_beats_drone(self):
+        static = self._pooled("static")
+        drone = self._pooled("drone")
+        assert static.recall > drone.recall
+
+    def test_static_classification_beats_drone(self):
+        static = self._pooled("static", yolo_seed=6)
+        drone = self._pooled("drone", yolo_seed=6)
+        assert static.classification_accuracy >= drone.classification_accuracy
+
+    def test_confusion_diagonal_dominates(self):
+        frames = self.make_frames("static")
+        result = evaluate_frames(frames, SimulatedYolo(seed=7))
+        diagonal = sum(c for (t, p), c in result.confusion.items() if t == p)
+        off = sum(c for (t, p), c in result.confusion.items() if t != p)
+        assert diagonal > off
+
+    def test_empty_frame(self):
+        gen = SceneGenerator(seed=52, density=0.0001)
+        frame = StaticCamera("empty").capture(gen.scene("empty"))
+        if not frame.truth:
+            result = evaluate_frame(frame, [])
+            assert result.true_positives == 0
+            assert result.false_negatives == 0
+
+    def test_counts_balance(self):
+        frames = self.make_frames("static", n=5)
+        yolo = SimulatedYolo(seed=8)
+        result = evaluate_frames(frames, yolo)
+        n_truth = sum(len(f.truth) for f in frames)
+        assert result.true_positives + result.false_negatives == n_truth

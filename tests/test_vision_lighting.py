@@ -1,0 +1,54 @@
+"""Tests for environmental (lighting) conditions in the capture models."""
+
+import numpy as np
+import pytest
+
+from repro.vision import DroneCamera, SceneGenerator, SimulatedYolo, StaticCamera
+
+
+def scene(seed=41, density=4.0):
+    return SceneGenerator(seed=seed, density=density).scene("lighting")
+
+
+class TestLighting:
+    def test_night_frames_are_darker(self):
+        s = scene()
+        day = StaticCamera("day", lighting=1.0).capture(s)
+        night = StaticCamera("night", lighting=0.3).capture(s)
+        assert night.image.mean() < 0.6 * day.image.mean()
+        assert night.lighting == 0.3
+
+    def test_night_boosts_effective_noise(self):
+        s = scene()
+        night = StaticCamera("night", lighting=0.3).capture(s)
+        day = StaticCamera("day", lighting=1.0).capture(s)
+        assert night.noise_sigma > day.noise_sigma
+
+    def test_night_confidence_lower(self):
+        s = scene(density=5.0)
+        yolo = SimulatedYolo(seed=7)
+        day_conf = [d.confidence for d in yolo.detect(StaticCamera("d", lighting=1.0).capture(s))]
+        night_conf = [d.confidence for d in yolo.detect(StaticCamera("n", lighting=0.3).capture(s))]
+        assert day_conf and night_conf
+        assert np.mean(night_conf) < np.mean(day_conf)
+
+    def test_night_drone_is_worst_case(self):
+        s = scene(density=5.0)
+        yolo = SimulatedYolo(seed=7)
+        day_static = [d.confidence for d in yolo.detect(StaticCamera("a").capture(s))]
+        drone = DroneCamera("b", seed=2, lighting=0.3)
+        night_drone = []
+        for _ in range(8):
+            night_drone += [d.confidence for d in yolo.detect(drone.capture(s))]
+        if night_drone:
+            assert np.mean(night_drone) < np.mean(day_static)
+
+    def test_lighting_bounds_validated(self):
+        with pytest.raises(ValueError):
+            StaticCamera("x", lighting=0.0)
+        with pytest.raises(ValueError):
+            DroneCamera("x", lighting=1.5)
+
+    def test_default_is_daylight(self):
+        frame = StaticCamera("d").capture(scene())
+        assert frame.lighting == 1.0
