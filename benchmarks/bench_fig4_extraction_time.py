@@ -9,7 +9,7 @@ which correlate with — but are not determined by — the byte size.
 
 import numpy as np
 
-from repro.bench import emit, fig4_extraction_scatter, format_table
+from repro.bench import emit, emit_json, fig4_extraction_scatter, format_table
 from repro.vision import MetadataExtractor, SimulatedYolo, TrafficDataset
 
 
@@ -39,6 +39,14 @@ def test_fig4_scatter(benchmark):
         rows,
     )
     emit("fig4_extraction_time", text)
+    emit_json(
+        "fig4_extraction_time",
+        {
+            "record_bytes": [float(s) for s in sizes],
+            "extraction_time_s": [float(t) for t in times],
+        },
+        meta={"n_frames": 60},
+    )
 
     # Shape assertions: small records dominate; correlation positive but
     # visibly imperfect (the paper's outliers).

@@ -11,7 +11,7 @@ and a near-constant blockchain increment.
 
 import numpy as np
 
-from repro.bench import emit, fig5_storage_times, format_table, human_size
+from repro.bench import emit, emit_json, fig5_storage_times, format_table, human_size
 from repro.bench.figures import _storage_framework
 from repro.core import Client
 from repro.trust import SourceTier
@@ -39,6 +39,15 @@ def test_fig5_sweep(benchmark):
         rows,
     )
     emit("fig5_storage_time", text)
+    emit_json(
+        "fig5_storage_time",
+        {
+            "ipfs_only_s": [t.ipfs_only_s for t in timings],
+            "with_blockchain_s": [t.with_blockchain_s for t in timings],
+            "overhead_s": [t.overhead_s for t in timings],
+        },
+        meta={"sizes_bytes": list(SIZES), "repeats": 3},
+    )
 
     sizes = np.array([t.size for t in timings], dtype=float)
     ipfs = np.array([t.ipfs_only_s for t in timings])

@@ -11,7 +11,7 @@ that reads never touch the ordering service.
 
 import numpy as np
 
-from repro.bench import emit, fig6_retrieval_times, format_table, human_size
+from repro.bench import emit, emit_json, fig6_retrieval_times, format_table, human_size
 from repro.bench.figures import _storage_framework
 from repro.core import Client
 from repro.crypto.cid import CID
@@ -40,6 +40,15 @@ def test_fig6_sweep(benchmark):
         rows,
     )
     emit("fig6_retrieval_time", text)
+    emit_json(
+        "fig6_retrieval_time",
+        {
+            "ipfs_only_s": [t.ipfs_only_s for t in timings],
+            "with_blockchain_s": [t.with_blockchain_s for t in timings],
+            "overhead_s": [t.overhead_s for t in timings],
+        },
+        meta={"sizes_bytes": list(SIZES), "repeats": 3},
+    )
 
     sizes = np.array([t.size for t in timings], dtype=float)
     full = np.array([t.with_blockchain_s for t in timings])

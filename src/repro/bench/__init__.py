@@ -10,7 +10,7 @@ from repro.bench.figures import (
     fig5_storage_times,
     fig6_retrieval_times,
 )
-from repro.bench.report import emit, format_table, human_size
+from repro.bench.report import emit, emit_json, format_table, human_size, series_stats
 from repro.bench.timer import Timing, measure
 
 __all__ = [
@@ -22,8 +22,10 @@ __all__ = [
     "fig5_storage_times",
     "fig6_retrieval_times",
     "emit",
+    "emit_json",
     "format_table",
     "human_size",
+    "series_stats",
     "Timing",
     "measure",
 ]

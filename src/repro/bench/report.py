@@ -1,14 +1,19 @@
 """Text rendering of benchmark series: the rows/series each figure reports.
 
 Every figure bench both prints its table and writes it under
-``benchmarks/results/`` so a run leaves regeneration artifacts on disk.
+``benchmarks/results/`` so a run leaves regeneration artifacts on disk —
+a human-readable ``<name>.txt`` and, via :func:`emit_json`, a
+machine-readable ``BENCH_<name>.json`` with summary statistics per series
+for downstream tooling (regression tracking, plotting).
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -42,6 +47,51 @@ def emit(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def series_stats(values: Sequence[float]) -> dict:
+    """Summary statistics for one series of measurements."""
+    vals = sorted(float(v) for v in values)
+    n = len(vals)
+    if n == 0:
+        return {"n": 0, "mean": None, "std": None, "median": None, "min": None, "max": None}
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    mid = n // 2
+    median = vals[mid] if n % 2 else (vals[mid - 1] + vals[mid]) / 2
+    return {
+        "n": n,
+        "mean": mean,
+        "std": math.sqrt(var),
+        "median": median,
+        "min": vals[0],
+        "max": vals[-1],
+    }
+
+
+def emit_json(
+    name: str,
+    series: Mapping[str, Sequence[float]],
+    meta: Mapping[str, object] | None = None,
+) -> Path:
+    """Persist benchmark series to ``benchmarks/results/BENCH_<name>.json``.
+
+    ``series`` maps a series name (e.g. ``"storage_1MiB_ipfs_only_s"``) to
+    its raw measurements; each gets mean/std/median summary statistics so
+    downstream tooling never re-derives them.
+    """
+    doc = {
+        "name": name,
+        "meta": dict(meta) if meta else {},
+        "series": {
+            key: {**series_stats(vals), "values": [float(v) for v in vals]}
+            for key, vals in series.items()
+        },
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
 
 

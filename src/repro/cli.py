@@ -7,6 +7,8 @@ every invocation stands up a fresh network — there is no daemon):
 * ``ingest``               — batch-ingest synthetic traffic videos, print throughput
 * ``figure {2,3,4,5,6}``   — regenerate one of the paper's evaluation figures
 * ``query "<text>"``       — run a query against a freshly populated demo set
+* ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
+* ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
 * ``info``                 — version and default configuration
 """
 
@@ -49,6 +51,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect-bundle", help="verify and summarize a bundle file")
     inspect.add_argument("path", help="bundle file to inspect")
+
+    metrics = sub.add_parser(
+        "metrics", help="run a traced store+retrieve demo and print its metrics"
+    )
+    metrics.add_argument("--items", type=int, default=3, help="items to store+retrieve")
+    metrics.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="exposition format (default: prometheus text)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run a traced store+retrieve demo and print the span tree"
+    )
+    trace.add_argument("--items", type=int, default=1, help="items to store+retrieve")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="also write a Chrome trace_event JSON (chrome://tracing)")
+    trace.add_argument("--breakdown", action="store_true",
+                       help="print the per-stage Fig. 5/6 latency decomposition")
 
     sub.add_parser("info", help="version and defaults")
     return parser
@@ -202,6 +222,69 @@ def _cmd_inspect_bundle(path: str) -> int:
     return 0
 
 
+def _traced_demo(n_items: int):
+    """Store + retrieve ``n_items`` under an active tracer and registry.
+
+    Returns ``(tracer, registry)`` after the run; the tracer is left
+    installed so the caller can export spans, and must be disabled by
+    the caller.
+    """
+    from repro import obs
+    from repro.core import Client, Framework, FrameworkConfig
+    from repro.fabric.monitor import ChannelMonitor
+    from repro.trust import SourceTier
+
+    registry = obs.MetricsRegistry()
+    obs.enable(registry=registry)
+    framework = Framework(FrameworkConfig())
+    ChannelMonitor(framework.channel, registry)
+    framework.validator_pool.registry = registry
+    client = Client(
+        framework, framework.register_source("obs-cam", tier=SourceTier.TRUSTED)
+    )
+    for i in range(n_items):
+        receipt = client.submit(
+            b"observability demo payload %d " % i * 32,
+            {"timestamp": float(i), "camera_id": "obs-cam",
+             "detections": [{"vehicle_class": "car", "confidence": 0.9}]},
+        )
+        client.retrieve(receipt.entry_id)
+    return obs.get_tracer(), registry
+
+
+def _cmd_metrics(args) -> int:
+    from repro import obs
+
+    tracer, registry = _traced_demo(args.items)
+    try:
+        if args.format == "json":
+            print(obs.metrics_json(registry, indent=2))
+        else:
+            print(obs.render_prometheus(registry), end="")
+    finally:
+        obs.disable()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    tracer, _registry = _traced_demo(args.items)
+    try:
+        for line in tracer.tree_lines():
+            print(line)
+        if args.breakdown:
+            print()
+            print(obs.render_breakdown(obs.pipeline_breakdown(tracer)))
+        if args.out:
+            obs.write_chrome_trace(args.out, tracer)
+            print(f"\nchrome trace: {args.out} "
+                  f"({len(tracer.finished)} spans; open in chrome://tracing)")
+    finally:
+        obs.disable()
+    return 0
+
+
 def _cmd_info() -> int:
     from repro.core import FrameworkConfig
 
@@ -227,6 +310,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "inspect-bundle":
         return _cmd_inspect_bundle(args.path)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover - argparse enforces choices

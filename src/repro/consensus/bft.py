@@ -42,6 +42,7 @@ from repro.consensus.messages import (
 )
 from repro.errors import ConsensusError
 from repro.net import Message, NetNode, SimNetwork
+from repro.obs.tracer import span as obs_span
 from repro.util.serialization import canonical_json
 
 
@@ -213,7 +214,11 @@ class BftReplica(NetNode):
             return True
         if self.behaviour is Behaviour.ALWAYS_INVALID:
             return False
-        return self.cluster.validate(self.name, request)
+        # The validation smart contract executes here (paper §III step 6).
+        with obs_span("consensus.validate") as sp:
+            sp.set_attr("replica", self.name)
+            sp.set_attr("request", request.request_id)
+            return self.cluster.validate(self.name, request)
 
     def _vote_digest(self, digest: str) -> str:
         if self.behaviour is Behaviour.WRONG_DIGEST:
@@ -467,13 +472,19 @@ class BftCluster:
         # Clients broadcast the request to every replica (the PBFT variant
         # with client broadcast): the primary proposes it, the others arm
         # commit timeouts so a dead primary triggers a view change.
-        for replica in self.replicas.values():
-            if self.network.is_up(replica.name):
-                replica.on_request(request)
+        with obs_span("consensus.round") as sp:
+            sp.set_attr("request", request.request_id)
+            for replica in self.replicas.values():
+                if self.network.is_up(replica.name):
+                    replica.on_request(request)
         return request
 
     def run(self, until: float | None = None) -> None:
-        self.network.run(until=until)
+        if self.network.pending() == 0:
+            self.network.run(until=until)  # nothing queued: no span noise
+            return
+        with obs_span("consensus.run") as sp:
+            sp.set_attr("events", self.network.run(until=until))
 
     # -- inspection ------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.framework import Framework
 from repro.errors import UntrustedSourceError
 from repro.fabric import Identity, ValidationCode
+from repro.obs.tracer import span as obs_span
 from repro.query import QueryEngine, QueryRow
 from repro.trust import SourceTier
 from repro.trust.crossval import Observation
@@ -88,93 +89,105 @@ class Client:
         source_id = self.source_id
         framework.require_registered(source_id)
 
-        # ① digital signature over the data (checked by admission).
-        data_hash = hashlib.sha256(data).hexdigest()
-        signature = self.identity.sign(bytes.fromhex(data_hash))
-        if not self.identity.info().public_key.is_valid(
-            bytes.fromhex(data_hash), signature
-        ):  # pragma: no cover - defensive
-            raise UntrustedSourceError("submission signature failed self-check")
+        with obs_span("client.submit") as root:
+            root.set_attr("source_id", source_id)
+            root.set_attr("bytes", len(data))
 
-        # ② admission: trust gate before anything is stored.
-        decision = framework.trust.admit(source_id)
-        if not decision.admitted:
-            raise UntrustedSourceError(
-                f"source {source_id!r} rejected: {decision.reason}"
+            # ① digital signature over the data (checked by admission).
+            with obs_span("submit.sign"):
+                data_hash = hashlib.sha256(data).hexdigest()
+                signature = self.identity.sign(bytes.fromhex(data_hash))
+                if not self.identity.info().public_key.is_valid(
+                    bytes.fromhex(data_hash), signature
+                ):  # pragma: no cover - defensive
+                    raise UntrustedSourceError("submission signature failed self-check")
+
+            # ② admission: trust gate before anything is stored.
+            with obs_span("submit.admission"):
+                decision = framework.trust.admit(source_id)
+                if not decision.admitted:
+                    raise UntrustedSourceError(
+                        f"source {source_id!r} rejected: {decision.reason}"
+                    )
+                # Paper §III: discrepancy against trusted sources blocks recording.
+                if (
+                    framework.config.strict_admission
+                    and decision.requires_corroboration
+                    and observation is not None
+                ):
+                    neighbours = framework.trust.cross_validator.neighbours(observation)
+                    if neighbours:
+                        cross = framework.trust.cross_validate(observation)
+                        if cross < framework.config.corroboration_floor:
+                            framework.trust.record_validation(
+                                source_id, False,
+                                valid_votes=0, invalid_votes=len(neighbours),
+                                observation=observation,
+                            )
+                            framework.record_trust_on_chain(source_id)
+                            raise UntrustedSourceError(
+                                f"source {source_id!r} contradicts {len(neighbours)} trusted "
+                                f"observation(s) (cross-validation {cross:.2f} < "
+                                f"{framework.config.corroboration_floor}); submission refused"
+                            )
+
+            # ③ raw data to IPFS.
+            add_result = framework.ipfs.add(data)
+            cid = add_result.cid.encode()
+
+            # ④–⑦ metadata + CID through endorsement, ordering (BFT), commit.
+            metadata = dict(metadata)
+            metadata.setdefault("source_id", source_id)
+            metadata.setdefault("data_hash", data_hash)
+            result = framework.channel.invoke(
+                self.identity, "data_upload", "add_data", [cid, data_hash, json.dumps(metadata)]
             )
-        # Paper §III: discrepancy against trusted sources blocks recording.
-        if (
-            framework.config.strict_admission
-            and decision.requires_corroboration
-            and observation is not None
-        ):
-            neighbours = framework.trust.cross_validator.neighbours(observation)
-            if neighbours:
-                cross = framework.trust.cross_validate(observation)
-                if cross < framework.config.corroboration_floor:
-                    framework.trust.record_validation(
-                        source_id, False, valid_votes=0, invalid_votes=len(neighbours),
+            entry_id = json.loads(result.response)["entry_id"] if result.ok else result.tx_id
+
+            # Provenance trail for the new entry.
+            if result.ok:
+                with obs_span("submit.provenance"):
+                    framework.channel.invoke(
+                        self.identity,
+                        "provenance",
+                        "record",
+                        [entry_id, "captured", source_id, json.dumps({"data_hash": data_hash})],
+                    )
+                    framework.channel.invoke(
+                        self.identity,
+                        "provenance",
+                        "record",
+                        [
+                            entry_id,
+                            "stored",
+                            source_id,
+                            json.dumps({"cid": cid, "block": result.block_number}),
+                        ],
+                    )
+
+            # Trust update from the consensus outcome.
+            with obs_span("submit.trust_update"):
+                votes = framework.consensus_votes(result.tx_id)
+                accepted = result.ok
+                valid_votes = sum(1 for v in votes.values() if v)
+                invalid_votes = len(votes) - valid_votes
+                if framework.trust.tier(source_id) is not SourceTier.TRUSTED:
+                    score = framework.trust.record_validation(
+                        source_id,
+                        accepted,
+                        valid_votes=valid_votes or (1 if accepted else 0),
+                        invalid_votes=invalid_votes or (0 if accepted else 1),
                         observation=observation,
                     )
                     framework.record_trust_on_chain(source_id)
-                    raise UntrustedSourceError(
-                        f"source {source_id!r} contradicts {len(neighbours)} trusted "
-                        f"observation(s) (cross-validation {cross:.2f} < "
-                        f"{framework.config.corroboration_floor}); submission refused"
-                    )
+                else:
+                    score = 1.0
+                    if observation is not None:
+                        framework.trust.observe_trusted(observation)
+                framework.observe_validators(result.tx_id, accepted)
 
-        # ③ raw data to IPFS.
-        add_result = framework.ipfs.add(data)
-        cid = add_result.cid.encode()
-
-        # ④–⑦ metadata + CID through endorsement, ordering (BFT), commit.
-        metadata = dict(metadata)
-        metadata.setdefault("source_id", source_id)
-        metadata.setdefault("data_hash", data_hash)
-        result = framework.channel.invoke(
-            self.identity, "data_upload", "add_data", [cid, data_hash, json.dumps(metadata)]
-        )
-        entry_id = json.loads(result.response)["entry_id"] if result.ok else result.tx_id
-
-        # Provenance trail for the new entry.
-        if result.ok:
-            framework.channel.invoke(
-                self.identity,
-                "provenance",
-                "record",
-                [entry_id, "captured", source_id, json.dumps({"data_hash": data_hash})],
-            )
-            framework.channel.invoke(
-                self.identity,
-                "provenance",
-                "record",
-                [
-                    entry_id,
-                    "stored",
-                    source_id,
-                    json.dumps({"cid": cid, "block": result.block_number}),
-                ],
-            )
-
-        # Trust update from the consensus outcome.
-        votes = framework.consensus_votes(result.tx_id)
-        accepted = result.ok
-        valid_votes = sum(1 for v in votes.values() if v)
-        invalid_votes = len(votes) - valid_votes
-        if framework.trust.tier(source_id) is not SourceTier.TRUSTED:
-            score = framework.trust.record_validation(
-                source_id,
-                accepted,
-                valid_votes=valid_votes or (1 if accepted else 0),
-                invalid_votes=invalid_votes or (0 if accepted else 1),
-                observation=observation,
-            )
-            framework.record_trust_on_chain(source_id)
-        else:
-            score = 1.0
-            if observation is not None:
-                framework.trust.observe_trusted(observation)
-        framework.observe_validators(result.tx_id, accepted)
+            root.set_attr("entry_id", entry_id)
+            root.set_attr("accepted", accepted)
 
         return SubmissionReceipt(
             entry_id=entry_id,
@@ -216,15 +229,22 @@ class Client:
         restricted entries are only served to allowed orgs, and denials are
         written to the immutable access log.
         """
-        self._enforce_acl(entry_id)
-        row = self.engine.get(entry_id, fetch_data=True, verify=verify)
-        self.framework.channel.invoke(
-            self.identity,
-            "provenance",
-            "record",
-            [entry_id, "accessed", self.source_id, "{}"],
-        )
-        return RetrievalResult(record=row.record, data=row.data or b"", verified=row.verified)
+        with obs_span("client.retrieve") as root:
+            root.set_attr("entry_id", entry_id)
+            with obs_span("retrieve.acl"):
+                self._enforce_acl(entry_id)
+            row = self.engine.get(entry_id, fetch_data=True, verify=verify)
+            with obs_span("retrieve.provenance"):
+                self.framework.channel.invoke(
+                    self.identity,
+                    "provenance",
+                    "record",
+                    [entry_id, "accessed", self.source_id, "{}"],
+                )
+            root.set_attr("bytes", len(row.data or b""))
+            return RetrievalResult(
+                record=row.record, data=row.data or b"", verified=row.verified
+            )
 
     def query(self, text: str, fetch_data: bool = False) -> list[QueryRow]:
         return self.engine.run(text, fetch_data=fetch_data)

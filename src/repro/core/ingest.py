@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.framework import Framework
 from repro.errors import UntrustedSourceError
 from repro.fabric import Identity, ValidationCode
+from repro.obs.tracer import span as obs_span
 from repro.trust import SourceTier
 from repro.workloads.traffic import IngestItem
 
@@ -75,60 +76,71 @@ class BatchIngestor:
         tx_ids: list[tuple[str, str]] = []  # (tx_id, source_id)
         blocks_before = channel.height()
 
-        for item in items:
-            identity = self._identity_for(item.source_id)
-            decision = framework.trust.admit(item.source_id)
-            if not decision.admitted:
-                raise UntrustedSourceError(
-                    f"source {item.source_id!r} rejected: {decision.reason}"
-                )
-            add_result = framework.ipfs.add(item.payload)
-            payload_bytes += len(item.payload)
-            data_hash = hashlib.sha256(item.payload).hexdigest()
-            metadata = dict(item.metadata)
-            metadata.setdefault("source_id", item.source_id)
-            tx_id = channel.invoke_async(
-                identity,
-                "data_upload",
-                "add_data",
-                [add_result.cid.encode(), data_hash, json.dumps(metadata)],
-            )
-            tx_ids.append((tx_id, item.source_id))
+        with obs_span("ingest.batch") as root:
+            root.set_attr("items", len(items))
 
-        channel.flush()
+            for item in items:
+                with obs_span("ingest.item") as sp:
+                    sp.set_attr("source_id", item.source_id)
+                    identity = self._identity_for(item.source_id)
+                    decision = framework.trust.admit(item.source_id)
+                    if not decision.admitted:
+                        raise UntrustedSourceError(
+                            f"source {item.source_id!r} rejected: {decision.reason}"
+                        )
+                    add_result = framework.ipfs.add(item.payload)
+                    payload_bytes += len(item.payload)
+                    data_hash = hashlib.sha256(item.payload).hexdigest()
+                    metadata = dict(item.metadata)
+                    metadata.setdefault("source_id", item.source_id)
+                    tx_id = channel.invoke_async(
+                        identity,
+                        "data_upload",
+                        "add_data",
+                        [add_result.cid.encode(), data_hash, json.dumps(metadata)],
+                    )
+                    tx_ids.append((tx_id, item.source_id))
 
-        committed: list[str] = []
-        rejected = 0
-        outcomes: dict[str, list[bool]] = {}
-        for tx_id, source_id in tx_ids:
-            result = channel.result(tx_id)
-            ok = result.code is ValidationCode.VALID
-            outcomes.setdefault(source_id, []).append(ok)
-            if ok:
-                committed.append(json.loads(result.response)["entry_id"])
-            else:
-                rejected += 1
-
-        if self.record_provenance and committed:
-            for entry_id in committed:
-                # Batched too: async + one flush below.
-                channel.invoke_async(
-                    self._identities[tx_ids[0][1]],
-                    "provenance",
-                    "record",
-                    [entry_id, "stored", "batch-ingestor", "{}"],
-                )
             channel.flush()
 
-        # One coalesced trust update per source.
-        for source_id, oks in outcomes.items():
-            if framework.trust.tier(source_id) is SourceTier.TRUSTED:
-                continue
-            for ok in oks:
-                framework.trust.record_validation(
-                    source_id, ok, valid_votes=1 if ok else 0, invalid_votes=0 if ok else 1
-                )
-            framework.record_trust_on_chain(source_id)
+            committed: list[str] = []
+            rejected = 0
+            outcomes: dict[str, list[bool]] = {}
+            for tx_id, source_id in tx_ids:
+                result = channel.result(tx_id)
+                ok = result.code is ValidationCode.VALID
+                outcomes.setdefault(source_id, []).append(ok)
+                if ok:
+                    committed.append(json.loads(result.response)["entry_id"])
+                else:
+                    rejected += 1
+
+            if self.record_provenance and committed:
+                with obs_span("ingest.provenance"):
+                    for entry_id in committed:
+                        # Batched too: async + one flush below.
+                        channel.invoke_async(
+                            self._identities[tx_ids[0][1]],
+                            "provenance",
+                            "record",
+                            [entry_id, "stored", "batch-ingestor", "{}"],
+                        )
+                    channel.flush()
+
+            # One coalesced trust update per source.
+            with obs_span("ingest.trust_update"):
+                for source_id, oks in outcomes.items():
+                    if framework.trust.tier(source_id) is SourceTier.TRUSTED:
+                        continue
+                    for ok in oks:
+                        framework.trust.record_validation(
+                            source_id, ok,
+                            valid_votes=1 if ok else 0, invalid_votes=0 if ok else 1,
+                        )
+                    framework.record_trust_on_chain(source_id)
+
+            root.set_attr("committed", len(committed))
+            root.set_attr("rejected", rejected)
 
         elapsed = time.perf_counter() - start
         return IngestReport(

@@ -148,6 +148,16 @@ class UntrustedSourceError(TrustError):
 
 
 # ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Invalid use of the metrics/tracing layer (bad buckets, negative
+    counter increments, malformed label sets)."""
+
+
+# ---------------------------------------------------------------------------
 # Query
 # ---------------------------------------------------------------------------
 

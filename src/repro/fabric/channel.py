@@ -37,6 +37,7 @@ from repro.fabric.tx import (
     TxProposal,
     ValidationCode,
 )
+from repro.obs.tracer import span as obs_span
 from repro.util.clock import Clock, WallClock
 
 
@@ -122,9 +123,19 @@ class Channel:
     def org_peers(self, org: str) -> list[Peer]:
         return [p for p in self.peers.values() if p.org == org and p.online]
 
+    def chaincode_names(self) -> list[str]:
+        """Names of the chaincodes installed on this channel (sorted)."""
+        return sorted(d.chaincode.name for d in self._definitions)
+
     # -- block delivery -------------------------------------------------------------
 
     def _deliver_block(self, block: Block, consensus_rejected: frozenset[str]) -> None:
+        with obs_span("fabric.deliver") as sp:
+            sp.set_attr("block", block.number)
+            sp.set_attr("txs", len(block.transactions))
+            self._deliver_block_inner(block, consensus_rejected)
+
+    def _deliver_block_inner(self, block: Block, consensus_rejected: frozenset[str]) -> None:
         self.rejected_by_block[block.number] = consensus_rejected
         annotated: Block | None = None
         for peer in self.peers.values():
@@ -206,13 +217,16 @@ class Channel:
         transient: dict[str, bytes] | None = None,
     ) -> tuple[TxProposal, list[ProposalResponse]]:
         """Run the endorsement phase only (exposed for tests and benches)."""
-        proposal = self._build_proposal(identity, chaincode, fn, args, transient)
-        peers = self._endorsing_peers(chaincode, endorsing_orgs)
-        responses = []
-        for peer in peers:
-            responses.append(peer.endorse(proposal))
-            self.stats.endorsement_rtts += 1
-        return proposal, responses
+        with obs_span("fabric.endorse") as sp:
+            sp.set_attr("chaincode", chaincode)
+            sp.set_attr("fn", fn)
+            proposal = self._build_proposal(identity, chaincode, fn, args, transient)
+            peers = self._endorsing_peers(chaincode, endorsing_orgs)
+            responses = []
+            for peer in peers:
+                responses.append(peer.endorse(proposal))
+                self.stats.endorsement_rtts += 1
+            return proposal, responses
 
     def assemble(
         self, proposal: TxProposal, responses: list[ProposalResponse]
@@ -252,15 +266,19 @@ class Channel:
         configuration); with larger batches use :meth:`invoke_async` +
         :meth:`flush`.
         """
-        tx_id = self.invoke_async(identity, chaincode, fn, args, endorsing_orgs, transient)
-        if tx_id not in self._results:
-            self.orderer.flush()
-        try:
-            return self._results[tx_id]
-        except KeyError:
-            raise FabricError(
-                f"transaction {tx_id!r} did not commit after flush"
-            ) from None
+        with obs_span("fabric.invoke") as sp:
+            sp.set_attr("chaincode", chaincode)
+            sp.set_attr("fn", fn)
+            tx_id = self.invoke_async(identity, chaincode, fn, args, endorsing_orgs, transient)
+            sp.set_attr("tx_id", tx_id)
+            if tx_id not in self._results:
+                self.orderer.flush()
+            try:
+                return self._results[tx_id]
+            except KeyError:
+                raise FabricError(
+                    f"transaction {tx_id!r} did not commit after flush"
+                ) from None
 
     def invoke_async(
         self,
@@ -280,7 +298,8 @@ class Channel:
         return tx.tx_id
 
     def flush(self) -> None:
-        self.orderer.flush()
+        with obs_span("fabric.flush"):
+            self.orderer.flush()
 
     def result(self, tx_id: str) -> TxResult:
         try:
@@ -299,16 +318,19 @@ class Channel:
         peer: str | None = None,
     ) -> str:
         """Read-only chaincode execution on one peer; no ordering."""
-        proposal = self._build_proposal(identity, chaincode, fn, args)
-        if peer is not None:
-            target = self.peers[peer]
-        else:
-            online = [p for p in self.peers.values() if p.online]
-            if not online:
-                raise FabricError("no online peer to query")
-            target = online[0]
-        self.stats.queries += 1
-        return target.query(proposal)
+        with obs_span("fabric.query") as sp:
+            sp.set_attr("chaincode", chaincode)
+            sp.set_attr("fn", fn)
+            proposal = self._build_proposal(identity, chaincode, fn, args)
+            if peer is not None:
+                target = self.peers[peer]
+            else:
+                online = [p for p in self.peers.values() if p.online]
+                if not online:
+                    raise FabricError("no online peer to query")
+                target = online[0]
+            self.stats.queries += 1
+            return target.query(proposal)
 
     # -- maintenance ------------------------------------------------------------------
 

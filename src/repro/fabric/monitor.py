@@ -1,11 +1,10 @@
-"""Monitoring: metrics registry and channel explorer.
+"""Monitoring: channel-level metrics and the Explorer-style summary.
 
-The paper's testbed watches the network through Grafana and Hyperledger
-Explorer; this module is that observability surface, programmatic:
+The metrics primitives (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, :class:`MetricsRegistry`) now live in
+:mod:`repro.obs.metrics` — the process-wide observability layer — and are
+re-exported here for backward compatibility. What remains fabric-specific:
 
-* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket histograms
-  with a Prometheus-style text exposition, so benches and operators read
-  one format.
 * :class:`ChannelMonitor` — subscribes to a channel's event hub and keeps
   the ledger metrics live (blocks, transactions by validation code, block
   fill, chain height).
@@ -15,109 +14,14 @@ Explorer; this module is that observability surface, programmatic:
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-
-from repro.errors import FabricError
 from repro.fabric.channel import Channel
 from repro.fabric.events import BlockEvent
-
-
-@dataclass
-class Counter:
-    name: str
-    value: float = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise FabricError("counters only go up")
-        self.value += amount
-
-
-@dataclass
-class Gauge:
-    name: str
-    value: float = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = float(value)
-
-
-@dataclass
-class Histogram:
-    name: str
-    buckets: tuple[float, ...]
-    counts: list[int] = field(default_factory=list)
-    total: float = 0.0
-    n: int = 0
-
-    def __post_init__(self) -> None:
-        if list(self.buckets) != sorted(self.buckets):
-            raise FabricError("histogram buckets must be sorted")
-        if not self.counts:
-            self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket
-
-    def observe(self, value: float) -> None:
-        idx = bisect.bisect_left(self.buckets, value)
-        self.counts[idx] += 1
-        self.total += value
-        self.n += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.n if self.n else 0.0
-
-
-class MetricsRegistry:
-    """Named metrics with Prometheus-style text exposition."""
-
-    def __init__(self, prefix: str = "repro") -> None:
-        self.prefix = prefix
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter(name=name))
-
-    def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge(name=name))
-
-    def histogram(self, name: str, buckets: tuple[float, ...]) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name=name, buckets=buckets)
-        return self._histograms[name]
-
-    def snapshot(self) -> dict:
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: {"n": h.n, "mean": h.mean, "buckets": dict(zip(h.buckets, h.counts))}
-                for n, h in sorted(self._histograms.items())
-            },
-        }
-
-    def render(self) -> str:
-        """Prometheus text format (counters/gauges/histograms)."""
-        lines: list[str] = []
-        for name, counter in sorted(self._counters.items()):
-            lines.append(f"# TYPE {self.prefix}_{name} counter")
-            lines.append(f"{self.prefix}_{name} {counter.value}")
-        for name, gauge in sorted(self._gauges.items()):
-            lines.append(f"# TYPE {self.prefix}_{name} gauge")
-            lines.append(f"{self.prefix}_{name} {gauge.value}")
-        for name, hist in sorted(self._histograms.items()):
-            lines.append(f"# TYPE {self.prefix}_{name} histogram")
-            cumulative = 0
-            for bound, count in zip(hist.buckets, hist.counts):
-                cumulative += count
-                lines.append(f'{self.prefix}_{name}_bucket{{le="{bound}"}} {cumulative}')
-            cumulative += hist.counts[-1]
-            lines.append(f'{self.prefix}_{name}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{self.prefix}_{name}_sum {hist.total}")
-            lines.append(f"{self.prefix}_{name}_count {hist.n}")
-        return "\n".join(lines) + "\n"
+from repro.obs.metrics import (  # noqa: F401  (re-exported for compatibility)
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class ChannelMonitor:
@@ -137,9 +41,10 @@ class ChannelMonitor:
         self.metrics.histogram("block_tx_count", self.BLOCK_FILL_BUCKETS).observe(
             len(block.transactions)
         )
-        codes = block.validation_codes or ()
-        for code in codes:
-            self.metrics.counter(f"txs_total_{code.value.lower()}").inc()
+        # One labeled family (txs_total{code=...}), not one metric name per
+        # validation code — keeps the family bounded and Grafana-friendly.
+        for code in block.validation_codes or ():
+            self.metrics.counter("txs_total", labels={"code": code.value.lower()}).inc()
 
     def render(self) -> str:
         return self.metrics.render()
@@ -169,9 +74,7 @@ def channel_summary(channel: Channel) -> dict:
         "channel": channel.name,
         "height": channel.height(),
         "orgs": sorted({p.org for p in channel.peers.values()}),
-        "chaincodes": sorted(
-            d.chaincode.name for d in channel._definitions
-        ),
+        "chaincodes": channel.chaincode_names(),
         "collections": channel.collections.names(),
         "tx_by_code": dict(sorted(tx_by_code.items())),
         "peers": peers,

@@ -29,6 +29,7 @@ from repro.fabric.ledger import Block, GENESIS_PREVIOUS_HASH
 from repro.fabric.peer import endorsement_payload
 from repro.fabric.tx import Transaction
 from repro.net import SimNetwork
+from repro.obs.tracer import span as obs_span
 from repro.util.clock import Clock, WallClock
 
 # A delivery callback receives the cut block plus the tx ids the consensus
@@ -95,7 +96,10 @@ class SoloOrderer:
         self._cutter = _BatchCutter(max_batch_size, clock or WallClock())
 
     def submit(self, tx: Transaction) -> None:
-        self._cutter.enqueue(tx, rejected=False)
+        with obs_span("fabric.order") as sp:
+            sp.set_attr("orderer", "solo")
+            sp.set_attr("tx_id", tx.tx_id)
+            self._cutter.enqueue(tx, rejected=False)
 
     def flush(self) -> None:
         self._cutter.cut()
@@ -177,14 +181,17 @@ class BftOrderer:
     def submit(self, tx: Transaction) -> None:
         if tx.tx_id in self._txs:
             raise OrderingError(f"transaction {tx.tx_id!r} already submitted")
-        self._txs[tx.tx_id] = tx
-        envelope_hash = hashlib.sha256(tx.envelope_bytes()).hexdigest()
-        self.cluster.submit(
-            {"tx_id": tx.tx_id, "envelope_hash": envelope_hash},
-            request_id=tx.tx_id,
-        )
-        # Drive the validator network to a decision (synchronous ordering).
-        self.cluster.run()
+        with obs_span("fabric.order") as sp:
+            sp.set_attr("orderer", "bft")
+            sp.set_attr("tx_id", tx.tx_id)
+            self._txs[tx.tx_id] = tx
+            envelope_hash = hashlib.sha256(tx.envelope_bytes()).hexdigest()
+            self.cluster.submit(
+                {"tx_id": tx.tx_id, "envelope_hash": envelope_hash},
+                request_id=tx.tx_id,
+            )
+            # Drive the validator network to a decision (synchronous ordering).
+            self.cluster.run()
 
     def flush(self) -> None:
         self.cluster.run()

@@ -42,6 +42,7 @@ from repro.fabric.tx import (
     ValidationCode,
 )
 from repro.fabric.worldstate import Version, WorldState
+from repro.obs.tracer import span as obs_span
 
 
 def endorsement_payload(tx: Transaction) -> bytes:
@@ -125,6 +126,12 @@ class Peer:
         requests that should never have reached this peer (bad identity,
         unknown chaincode); chaincode-level failures return an unendorsed
         failure response instead, as Fabric does."""
+        with obs_span("fabric.peer.endorse") as sp:
+            sp.set_attr("peer", self.name)
+            sp.set_attr("chaincode", proposal.chaincode)
+            return self._endorse_inner(proposal)
+
+    def _endorse_inner(self, proposal: TxProposal) -> ProposalResponse:
         if not self.online:
             raise FabricError(f"peer {self.name!r} is offline")
         self.msp_registry.verify_signature(
@@ -211,6 +218,14 @@ class Peer:
     def commit_block(self, block: Block, consensus_rejected: frozenset[str] = frozenset()) -> Block:
         """Validate and commit an ordered block; returns the block annotated
         with validation codes (identical on every honest peer)."""
+        with obs_span("fabric.peer.commit") as sp:
+            sp.set_attr("peer", self.name)
+            sp.set_attr("block", block.number)
+            return self._commit_block_inner(block, consensus_rejected)
+
+    def _commit_block_inner(
+        self, block: Block, consensus_rejected: frozenset[str] = frozenset()
+    ) -> Block:
         if not self.online:
             raise FabricError(f"peer {self.name!r} is offline")
         codes: list[ValidationCode] = []

@@ -17,6 +17,7 @@ from repro.ipfs.chunker import Chunker
 from repro.ipfs.dht import DhtRegistry
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.unixfs import AddResult
+from repro.obs.tracer import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -86,25 +87,33 @@ class IpfsCluster:
         the provider in practice since whole files live on the adding node;
         we announce the root, which is how IPFS advertises files too).
         """
-        target = self.node(node)
-        result = target.add_bytes(data)
-        if announce:
-            self.dht.provide(target.peer_id, result.cid)
-        return result
+        with obs_span("ipfs.add") as sp:
+            sp.set_attr("bytes", len(data))
+            target = self.node(node)
+            sp.set_attr("node", target.peer_id)
+            result = target.add_bytes(data)
+            if announce:
+                self.dht.provide(target.peer_id, result.cid)
+            return result
 
     def providers_for(self, cid: CID, requester: str) -> list[str]:
-        return sorted(self.dht.find_providers(requester, cid))
+        with obs_span("ipfs.dht.providers") as sp:
+            providers = sorted(self.dht.find_providers(requester, cid))
+            sp.set_attr("providers", len(providers))
+            return providers
 
     def cat(self, cid: CID, node: str | None = None) -> bytes:
         """Read a file from any node, discovering providers via the DHT."""
-        reader = self.node(node)
-        if reader.has_local(cid):
-            try:
-                return reader.cat_local(cid)
-            except StorageError:
-                pass  # partial local copy: fall through to remote fetch
-        providers = self.providers_for(cid, reader.peer_id)
-        return reader.cat(cid, providers=providers)
+        with obs_span("ipfs.cat") as sp:
+            reader = self.node(node)
+            sp.set_attr("node", reader.peer_id)
+            if reader.has_local(cid):
+                try:
+                    return reader.cat_local(cid)
+                except StorageError:
+                    pass  # partial local copy: fall through to remote fetch
+            providers = self.providers_for(cid, reader.peer_id)
+            return reader.cat(cid, providers=providers)
 
     def stat(self) -> ClusterStat:
         return ClusterStat(

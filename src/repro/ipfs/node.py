@@ -18,6 +18,7 @@ from repro.ipfs.chunker import Chunker
 from repro.ipfs.dag import DagService
 from repro.ipfs.pin import GCResult, PinManager, collect_garbage
 from repro.ipfs.unixfs import AddResult, UnixFS
+from repro.obs.tracer import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -47,10 +48,14 @@ class IpfsNode:
 
     def add_bytes(self, data: bytes, pin: bool = True) -> AddResult:
         """Chunk, hash, and store ``data``; returns the root CID."""
-        result = self.unixfs.add_file(data)
-        if pin:
-            self.pins.pin(result.cid, recursive=True)
-        return result
+        with obs_span("ipfs.add_bytes") as sp:
+            sp.set_attr("peer", self.peer_id)
+            sp.set_attr("bytes", len(data))
+            result = self.unixfs.add_file(data)
+            sp.set_attr("leaves", result.n_leaves)
+            if pin:
+                self.pins.pin(result.cid, recursive=True)
+            return result
 
     def cat_local(self, cid: CID) -> bytes:
         """Read a file using only local blocks (raises if any is missing)."""
@@ -89,12 +94,17 @@ class IpfsNode:
         their children, so only the blocks of *this* file move.
         """
         providers = providers or []
-        try:
+        with obs_span("ipfs.node.cat") as sp:
+            sp.set_attr("peer", self.peer_id)
+            try:
+                data = self.cat_local(cid)
+                sp.set_attr("remote", False)
+                return data
+            except BlockNotFoundError:
+                pass
+            sp.set_attr("remote", True)
+            self._ensure_subtree(cid, providers, on_transfer)
             return self.cat_local(cid)
-        except BlockNotFoundError:
-            pass
-        self._ensure_subtree(cid, providers, on_transfer)
-        return self.cat_local(cid)
 
     def _ensure_subtree(self, cid: CID, providers: list[str], on_transfer) -> None:
         self.fetch_block(cid, providers, on_transfer)

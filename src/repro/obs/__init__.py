@@ -1,0 +1,100 @@
+"""repro.obs — end-to-end tracing and unified metrics for the pipeline.
+
+The observability layer the paper's testbed gets from Grafana + Hyperledger
+Explorer, built in:
+
+* **Tracing** (:mod:`repro.obs.tracer`, :mod:`repro.obs.span`): nested,
+  contextvars-propagated spans over the full Figure-1 pipeline — client
+  submit/retrieve, endorsement, BFT ordering, validate/commit, IPFS
+  chunk/add/cat, query planning and verification. Opt-in via
+  :func:`enable` / scoped :func:`enabled`; a disabled tracer costs one
+  guard check per instrumented call.
+* **Metrics** (:mod:`repro.obs.metrics`): process-wide
+  :class:`MetricsRegistry` with *labeled* counters/gauges/histograms and
+  Prometheus text exposition (promoted from ``repro.fabric.monitor``,
+  which re-exports for compatibility).
+* **Exporters** (:mod:`repro.obs.export`): Prometheus text, JSON
+  snapshots, and Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` / Perfetto.
+* **Breakdown** (:mod:`repro.obs.breakdown`): :func:`pipeline_breakdown`
+  reproduces the paper's per-stage storage/retrieval latency decomposition
+  (Figs. 5–6) from real spans.
+
+Quickstart::
+
+    from repro import obs
+
+    tracer = obs.enable(registry=obs.get_registry())
+    ...  # run any Framework/Client workload
+    print("\\n".join(tracer.tree_lines()))
+    print(obs.render_breakdown(obs.pipeline_breakdown(tracer)))
+    obs.write_chrome_trace("trace.json", tracer)
+    print(obs.render_prometheus())
+    obs.disable()
+"""
+
+from repro.obs.breakdown import (
+    PipelineBreakdown,
+    StageTime,
+    pipeline_breakdown,
+    render_breakdown,
+)
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_json,
+    render_prometheus,
+    spans_json,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+from repro.obs.tracer import (
+    LATENCY_BUCKETS,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "PipelineBreakdown",
+    "StageTime",
+    "pipeline_breakdown",
+    "render_breakdown",
+    "chrome_trace",
+    "chrome_trace_events",
+    "metrics_json",
+    "render_prometheus",
+    "spans_json",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "Span",
+    "LATENCY_BUCKETS",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

@@ -1,0 +1,177 @@
+"""Per-stage latency decomposition: the paper's Figures 5 and 6 from spans.
+
+The paper reports storage time (Fig. 5) and retrieval time (Fig. 6) broken
+into IPFS work versus blockchain overhead. :func:`pipeline_breakdown`
+reproduces that decomposition from *real* spans of a traced run: every
+``client.submit`` root becomes a storage sample and every
+``client.retrieve`` / ``query.run`` root a retrieval sample, and each
+sample's wall time is attributed stage by stage using **exclusive** span
+times (a span's duration minus its children's), so nested instrumentation
+never double-counts and the stage totals sum back to the measured
+end-to-end wall time, minus only genuinely uninstrumented gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.span import Span
+from repro.obs.tracer import Tracer, get_tracer
+
+# Root span name -> which pipeline the sample belongs to.
+ROOTS = {
+    "client.submit": "storage",
+    "ingest.batch": "storage",
+    "client.retrieve": "retrieval",
+    "query.run": "retrieval",
+}
+
+# Span name -> reported stage. Unmapped spans report under their own name,
+# so nothing silently disappears from the decomposition.
+STAGE_LABELS = {
+    # storage path (paper Fig. 5 / Figure 1 steps ①–⑦)
+    "submit.sign": "signature",
+    "submit.admission": "trust admission",
+    "ipfs.add": "ipfs add",
+    "ipfs.add_bytes": "ipfs chunk+dag",
+    "fabric.invoke": "tx assembly",
+    "fabric.endorse": "endorse",
+    "fabric.peer.endorse": "endorse",
+    "fabric.order": "order",
+    "consensus.round": "consensus (bft)",
+    "consensus.run": "consensus (bft)",
+    "consensus.validate": "consensus (bft)",
+    "fabric.deliver": "deliver",
+    "fabric.peer.commit": "validate+commit",
+    "submit.provenance": "provenance",
+    "submit.trust_update": "trust update",
+    "trust.observe_validators": "trust update",
+    "ingest.item": "ingest prepare",
+    "ingest.provenance": "provenance",
+    "ingest.trust_update": "trust update",
+    "fabric.flush": "order",
+    # retrieval path (paper Fig. 6 / Figure 1 steps Ⓐ–Ⓓ)
+    "retrieve.acl": "acl check",
+    "query.plan": "plan",
+    "query.get": "query route",
+    "query.chain_read": "on-chain read",
+    "fabric.query": "on-chain read",
+    "query.fetch": "off-chain fetch",
+    "ipfs.cat": "off-chain fetch",
+    "ipfs.dht.providers": "dht resolve",
+    "ipfs.node.cat": "off-chain fetch",
+    "query.verify": "integrity verify",
+    "retrieve.provenance": "provenance",
+}
+
+UNATTRIBUTED = "(uninstrumented)"
+
+
+@dataclass(frozen=True)
+class StageTime:
+    stage: str
+    count: int
+    total_s: float
+    share: float  # fraction of the pipeline's wall time
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class PipelineBreakdown:
+    pipeline: str            # "storage" | "retrieval"
+    samples: int             # number of root spans aggregated
+    wall_s: float            # summed end-to-end wall time of those roots
+    stages: tuple[StageTime, ...]
+
+    @property
+    def attributed_s(self) -> float:
+        return sum(s.total_s for s in self.stages if s.stage != UNATTRIBUTED)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of wall time explained by named stages."""
+        return self.attributed_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _exclusive_s(span: Span, children: list[Span]) -> float:
+    return max(0.0, span.duration_s - sum(c.duration_s for c in children))
+
+
+def pipeline_breakdown(tracer: Tracer | None = None) -> dict[str, PipelineBreakdown]:
+    """Aggregate a traced run into per-stage storage/retrieval breakdowns.
+
+    Returns ``{"storage": ..., "retrieval": ...}`` (keys present only when
+    the trace contains such roots).
+    """
+    tracer = tracer or get_tracer()
+    if tracer is None:
+        return {}
+    acc: dict[str, dict[str, list[float]]] = {}
+    wall: dict[str, float] = {}
+    samples: dict[str, int] = {}
+    for root in tracer.roots():
+        pipeline = ROOTS.get(root.name)
+        if pipeline is None or not root.finished:
+            continue
+        wall[pipeline] = wall.get(pipeline, 0.0) + root.duration_s
+        samples[pipeline] = samples.get(pipeline, 0) + 1
+        stages = acc.setdefault(pipeline, {})
+        for span in [root, *tracer.descendants(root)]:
+            kids = tracer.children(span)
+            exclusive = _exclusive_s(span, kids)
+            if exclusive <= 0.0:
+                continue
+            if span is root:
+                stage = UNATTRIBUTED
+            else:
+                stage = STAGE_LABELS.get(span.name, span.name)
+            stages.setdefault(stage, []).append(exclusive)
+    out: dict[str, PipelineBreakdown] = {}
+    for pipeline, stages in acc.items():
+        rows = [
+            StageTime(
+                stage=stage,
+                count=len(times),
+                total_s=sum(times),
+                share=(sum(times) / wall[pipeline]) if wall[pipeline] > 0 else 0.0,
+            )
+            for stage, times in stages.items()
+        ]
+        rows.sort(key=lambda r: r.total_s, reverse=True)
+        out[pipeline] = PipelineBreakdown(
+            pipeline=pipeline,
+            samples=samples[pipeline],
+            wall_s=wall[pipeline],
+            stages=tuple(rows),
+        )
+    return out
+
+
+def render_breakdown(breakdowns: dict[str, PipelineBreakdown]) -> str:
+    """Fixed-width tables, one per pipeline (the Fig. 5/6 view)."""
+    from repro.bench.report import format_table
+
+    blocks: list[str] = []
+    for pipeline in ("storage", "retrieval"):
+        bd = breakdowns.get(pipeline)
+        if bd is None:
+            continue
+        fig = "Fig. 5" if pipeline == "storage" else "Fig. 6"
+        rows = [
+            [s.stage, s.count, f"{s.total_s * 1e3:.3f}", f"{s.mean_s * 1e3:.3f}",
+             f"{s.share * 100:.1f}%"]
+            for s in bd.stages
+        ]
+        rows.append(["TOTAL (wall)", bd.samples, f"{bd.wall_s * 1e3:.3f}", "", "100.0%"])
+        blocks.append(
+            format_table(
+                f"{pipeline} breakdown ({fig}): {bd.samples} sample(s), "
+                f"{bd.coverage * 100:.1f}% attributed",
+                ["stage", "n", "total ms", "mean ms", "share"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

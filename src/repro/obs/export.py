@@ -1,0 +1,95 @@
+"""Exporters: Prometheus text, JSON snapshots, and Chrome trace_event.
+
+Three formats, one per audience:
+
+* :func:`render_prometheus` — scrape-style text for dashboards (the
+  Grafana surface of the paper's testbed);
+* :func:`metrics_json` / :func:`spans_json` — machine-readable snapshots
+  for benches and cross-PR trend tracking;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format, so a stored/retrieved item's journey through
+  endorse → order → validate → commit → IPFS renders as a flame chart in
+  ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.span import Span
+from repro.obs.tracer import Tracer, get_tracer
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    return (registry or get_registry()).render()
+
+
+def metrics_json(registry: MetricsRegistry | None = None, indent: int | None = None) -> str:
+    return json.dumps((registry or get_registry()).snapshot(), indent=indent, sort_keys=True)
+
+
+def spans_json(tracer: Tracer | None = None, indent: int | None = None) -> str:
+    tracer = tracer or get_tracer()
+    spans = tracer.finished if tracer is not None else []
+    return json.dumps([s.to_dict() for s in spans], indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
+    """Spans as Chrome 'complete' (``ph: "X"``) events.
+
+    Timestamps are microseconds relative to the earliest span, one ``tid``
+    (lane) per trace so concurrent pipelines render side by side, and span
+    attributes plus lineage land in ``args`` for the inspector pane.
+    """
+    spans = [s for s in spans if s.finished and s.end_s is not None]
+    if not spans:
+        return []
+    t0 = min(s.start_s for s in spans)
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in sorted(spans, key=lambda s: s.start_s):
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        args = {str(k): v for k, v in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start_s - t0) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: Tracer | None = None) -> dict:
+    """The full ``chrome://tracing`` JSON object for a tracer's spans."""
+    tracer = tracer or get_tracer()
+    spans = tracer.finished if tracer is not None else []
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer | None = None, indent: int | None = None) -> str:
+    text = json.dumps(chrome_trace(tracer), indent=indent)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,147 @@
+"""Spans: the unit of the tracing layer.
+
+A :class:`Span` is one timed, named region of the pipeline — an endorsement,
+a consensus round, an IPFS add — with attributes, a parent link, and an
+error status captured from any exception that escaped the region. Spans are
+context managers handed out by :class:`repro.obs.Tracer`; user code never
+constructs them directly.
+
+Identifiers are deterministic (a process-wide counter, not random), so
+traces of the same run are stable and testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.tracer import Tracer
+
+_ids = itertools.count(1)
+
+
+def next_span_id() -> str:
+    return f"{next(_ids):08x}"
+
+
+class Span:
+    """One timed region. Use as ``with tracer.span("name") as sp:``."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "start_s",
+        "end_s",
+        "attrs",
+        "status",
+        "error",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = next_span_id()
+        self.trace_id: str = self.span_id  # overwritten on enter if nested
+        self.parent_id: str | None = None
+        self.start_s: float = 0.0
+        self.end_s: float | None = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.status: str = "ok"
+        self.error: str | None = None
+        self._tracer = tracer
+        self._token = None
+
+    # -- recording --------------------------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def record_error(self, exc: BaseException) -> None:
+        self.status = "error"
+        self.error = f"{type(exc).__name__}: {exc}"
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self, exc)
+        return False  # never swallow exceptions
+
+    # -- facts ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "status": self.status,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"{self.duration_s * 1e3:.3f} ms, {self.status})"
+        )
+
+
+class NoopSpan:
+    """The span handed out when tracing is disabled.
+
+    A single shared instance: entering, exiting, and attribute writes are
+    all no-ops, so an instrumented call path allocates nothing when the
+    tracer is off.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> "NoopSpan":
+        return self
+
+    def record_error(self, exc: BaseException) -> None:
+        return None
+
+    @property
+    def finished(self) -> bool:
+        return True
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = NoopSpan()

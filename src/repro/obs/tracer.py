@@ -1,0 +1,195 @@
+"""The tracer: nested spans with contextvars-based propagation.
+
+Layers never thread trace handles through signatures — each instrumented
+site calls :func:`repro.obs.trace.span` (the module-level entry point) and
+parentage is resolved from a :mod:`contextvars` current-span variable, so
+traces nest correctly through any call depth and stay correct under
+``asyncio`` or thread-per-request execution.
+
+Tracing is **opt-in and process-global**: :func:`enable` installs a tracer,
+:func:`disable` removes it. While disabled, :func:`span` returns a shared
+no-op span after a single guard check — instrumented hot paths cost one
+global read and one ``is None`` comparison, with no allocation (verified by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+
+_current_span: ContextVar[Span | None] = ContextVar("repro_obs_current_span", default=None)
+
+# Default histogram buckets for span latencies (seconds): 100 µs .. 10 s.
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Tracer:
+    """Produces nested spans and keeps every finished one for analysis.
+
+    ``registry`` (optional) unifies tracing with metrics: each finished
+    span's duration is observed into a ``span_seconds{name=...}`` histogram
+    and counted in ``spans_total{name=..., status=...}``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        registry=None,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.finished: list[Span] = []
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
+        """Create a span; activate it with ``with``."""
+        return Span(name, self, attrs)
+
+    def _enter(self, span: Span) -> None:
+        parent = _current_span.get()
+        if parent is not None:
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+        span._token = _current_span.set(span)
+        span.start_s = self.clock()
+
+    def _exit(self, span: Span, exc: BaseException | None) -> None:
+        span.end_s = self.clock()
+        if exc is not None:
+            span.record_error(exc)
+        if span._token is not None:
+            _current_span.reset(span._token)
+            span._token = None
+        self.finished.append(span)
+        if self.registry is not None:
+            self.registry.histogram(
+                "span_seconds", LATENCY_BUCKETS, labels={"name": span.name}
+            ).observe(span.duration_s)
+            self.registry.counter(
+                "spans_total", labels={"name": span.name, "status": span.status}
+            ).inc()
+
+    # -- queries ----------------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        if name is None:
+            return list(self.finished)
+        return [s for s in self.finished if s.name == name]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.finished if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        kids = [s for s in self.finished if s.parent_id == span.span_id]
+        return sorted(kids, key=lambda s: s.start_s)
+
+    def descendants(self, span: Span) -> list[Span]:
+        out: list[Span] = []
+        frontier = [span]
+        while frontier:
+            node = frontier.pop()
+            kids = self.children(node)
+            out.extend(kids)
+            frontier.extend(kids)
+        return out
+
+    def tree(self) -> list[dict[str, Any]]:
+        """The forest of finished spans as nested dicts."""
+
+        def build(span: Span) -> dict[str, Any]:
+            node = span.to_dict()
+            node["children"] = [build(c) for c in self.children(span)]
+            return node
+
+        return [build(r) for r in sorted(self.roots(), key=lambda s: s.start_s)]
+
+    def tree_lines(self, max_attr_len: int = 40) -> list[str]:
+        """Human-readable indented rendering of the span forest."""
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attrs:
+                joined = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+                if len(joined) > max_attr_len:
+                    joined = joined[: max_attr_len - 1] + "…"
+                attrs = f"  [{joined}]"
+            flag = "" if span.status == "ok" else f"  !! {span.error}"
+            lines.append(
+                f"{'  ' * depth}{span.name:<{max(1, 30 - 2 * depth)}} "
+                f"{span.duration_s * 1e3:9.3f} ms{attrs}{flag}"
+            )
+            for child in self.children(span):
+                walk(child, depth + 1)
+
+        for root in sorted(self.roots(), key=lambda s: s.start_s):
+            walk(root, 0)
+        return lines
+
+    def clear(self) -> None:
+        self.finished.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-global tracer
+# ---------------------------------------------------------------------------
+
+_GLOBAL: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    global _GLOBAL
+    _GLOBAL = tracer
+
+
+def enable(registry=None) -> Tracer:
+    """Install (and return) a fresh process-global tracer."""
+    tracer = Tracer(registry=registry)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    set_tracer(None)
+
+
+def span(name: str, attrs: dict[str, Any] | None = None) -> Span | NoopSpan:
+    """Start a span on the global tracer; the no-op singleton when disabled.
+
+    This is the call instrumented code makes. The disabled path is a single
+    guard check returning a shared object — no allocation.
+    """
+    tracer = _GLOBAL
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost active span in this execution context, if any."""
+    return _current_span.get()
+
+
+@contextmanager
+def enabled(registry=None) -> Iterator[Tracer]:
+    """Scoped tracing: install a fresh tracer, restore the old one after."""
+    previous = _GLOBAL
+    tracer = enable(registry=registry)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

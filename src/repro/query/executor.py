@@ -22,6 +22,7 @@ from repro.errors import IntegrityError, QueryError
 from repro.fabric.channel import Channel
 from repro.fabric.identity import Identity
 from repro.ipfs.cluster import IpfsCluster
+from repro.obs.tracer import span as obs_span
 from repro.query.ast import Query
 from repro.query.parser import parse_query
 from repro.query.planner import Plan, plan_query
@@ -90,76 +91,91 @@ class QueryEngine:
         of the paper's retrieval story, and an unchanged chain cannot
         change their answer.
         """
-        cache_key = None
-        if self.cache_enabled and not fetch_data and isinstance(query, str):
-            cache_key = query
-            cached = self._cache.get(cache_key)
-            if cached is not None and cached[0] == self.channel.height():
-                self.stats.cache_hits += 1
-                self.stats.queries += 1
-                return list(cached[1])
-        if isinstance(query, str):
-            query = parse_query(query)
-        plan = plan_query(query)
-        candidates = self._execute_paths(plan)
-        self.stats.queries += 1
-        self.stats.rows_scanned += len(candidates)
-        matched = [r for r in candidates if plan.residual.matches(r)]
-        matched = query.apply_post(matched)
-        rows = []
-        for record in matched:
-            data, verified = None, False
-            if fetch_data:
-                data = self.fetch_payload(record, verify=verify)
-                verified = verify
-            rows.append(QueryRow(record=record, data=data, verified=verified))
-        self.stats.rows_returned += len(rows)
-        if cache_key is not None:
-            self._cache[cache_key] = (self.channel.height(), list(rows))
-        return rows
+        with obs_span("query.run") as sp:
+            if isinstance(query, str):
+                sp.set_attr("query", query[:80])
+            sp.set_attr("fetch_data", fetch_data)
+            cache_key = None
+            if self.cache_enabled and not fetch_data and isinstance(query, str):
+                cache_key = query
+                cached = self._cache.get(cache_key)
+                if cached is not None and cached[0] == self.channel.height():
+                    self.stats.cache_hits += 1
+                    self.stats.queries += 1
+                    sp.set_attr("cache_hit", True)
+                    return list(cached[1])
+            with obs_span("query.plan"):
+                if isinstance(query, str):
+                    query = parse_query(query)
+                plan = plan_query(query)
+            candidates = self._execute_paths(plan)
+            self.stats.queries += 1
+            self.stats.rows_scanned += len(candidates)
+            matched = [r for r in candidates if plan.residual.matches(r)]
+            matched = query.apply_post(matched)
+            rows = []
+            for record in matched:
+                data, verified = None, False
+                if fetch_data:
+                    data = self.fetch_payload(record, verify=verify)
+                    verified = verify
+                rows.append(QueryRow(record=record, data=data, verified=verified))
+            self.stats.rows_returned += len(rows)
+            sp.set_attr("rows", len(rows))
+            if cache_key is not None:
+                self._cache[cache_key] = (self.channel.height(), list(rows))
+            return rows
 
     def _execute_paths(self, plan: Plan) -> list[dict]:
         seen: set[str] = set()
         out: list[dict] = []
-        for path in plan.paths:
-            raw = self.channel.query(
-                self.identity, self.retrieval_chaincode, path.fn, list(path.args)
-            )
-            for record in json.loads(raw):
-                entry_id = record.get("entry_id")
-                if entry_id is None or entry_id in seen:
-                    continue
-                seen.add(entry_id)
-                out.append(record)
+        with obs_span("query.chain_read") as sp:
+            sp.set_attr("paths", len(plan.paths))
+            for path in plan.paths:
+                raw = self.channel.query(
+                    self.identity, self.retrieval_chaincode, path.fn, list(path.args)
+                )
+                for record in json.loads(raw):
+                    entry_id = record.get("entry_id")
+                    if entry_id is None or entry_id in seen:
+                        continue
+                    seen.add(entry_id)
+                    out.append(record)
+            sp.set_attr("rows", len(out))
         return out
 
     # -- point lookups ---------------------------------------------------------------
 
     def get(self, entry_id: str, fetch_data: bool = False, verify: bool = True) -> QueryRow:
-        raw = self.channel.query(
-            self.identity, self.retrieval_chaincode, "get_data", [entry_id]
-        )
-        record = json.loads(raw)
-        data = self.fetch_payload(record, verify=verify) if fetch_data else None
-        return QueryRow(record=record, data=data, verified=fetch_data and verify)
+        with obs_span("query.get") as sp:
+            sp.set_attr("entry_id", entry_id)
+            raw = self.channel.query(
+                self.identity, self.retrieval_chaincode, "get_data", [entry_id]
+            )
+            record = json.loads(raw)
+            data = self.fetch_payload(record, verify=verify) if fetch_data else None
+            return QueryRow(record=record, data=data, verified=fetch_data and verify)
 
     # -- the off-chain executor ----------------------------------------------------------
 
     def fetch_payload(self, record: dict, verify: bool = True) -> bytes:
         """Fetch the raw bytes for a record from IPFS and verify integrity."""
-        try:
-            cid = CID.parse(record["cid"])
-        except KeyError:
-            raise QueryError("record has no CID") from None
-        data = self.cluster.cat(cid)
-        self.stats.bytes_fetched += len(data)
-        if verify:
-            self.stats.integrity_checks += 1
-            stored_hash = record.get("data_hash")
-            actual = hashlib.sha256(data).hexdigest()
-            if stored_hash is not None and actual != stored_hash:
-                raise IntegrityError(
-                    f"data for entry {record.get('entry_id')} does not match the "
-                    f"on-chain hash (expected {stored_hash[:12]}…, got {actual[:12]}…)"
-                )
-        return data
+        with obs_span("query.fetch") as sp:
+            try:
+                cid = CID.parse(record["cid"])
+            except KeyError:
+                raise QueryError("record has no CID") from None
+            data = self.cluster.cat(cid)
+            sp.set_attr("bytes", len(data))
+            self.stats.bytes_fetched += len(data)
+            if verify:
+                with obs_span("query.verify"):
+                    self.stats.integrity_checks += 1
+                    stored_hash = record.get("data_hash")
+                    actual = hashlib.sha256(data).hexdigest()
+                    if stored_hash is not None and actual != stored_hash:
+                        raise IntegrityError(
+                            f"data for entry {record.get('entry_id')} does not match the "
+                            f"on-chain hash (expected {stored_hash[:12]}…, got {actual[:12]}…)"
+                        )
+            return data

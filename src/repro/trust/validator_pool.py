@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import TrustError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import span as obs_span
 
 
 @dataclass
@@ -39,6 +41,8 @@ class ValidatorPool:
     flag_threshold: float = 0.34  # disagreeing with > 1/3 of decisions
     flags_to_remove: int = 3
     min_votes: int = 5  # evidence floor before any flagging
+    # Optional metrics sink: decision/flag/removal counters land here.
+    registry: MetricsRegistry | None = None
     _records: dict[str, ValidatorRecord] = field(default_factory=dict)
 
     def add_validator(self, name: str) -> None:
@@ -68,24 +72,36 @@ class ValidatorPool:
         quorum; active validators missing from it are counted absent.
         Returns the validators newly removed by this observation.
         """
-        newly_removed: list[str] = []
-        for name in self.active():
-            record = self._records[name]
-            if name in votes:
-                record.votes += 1
-                if votes[name] != outcome_accepted:
-                    record.disagreements += 1
-            else:
-                record.absences += 1
-            if record.disagreement_rate(self.min_votes) > self.flag_threshold:
-                record.flags += 1
-                # Flagging resets the window so one bad streak is one flag,
-                # not a permanent stain that re-flags every decision.
-                record.votes = record.disagreements = record.absences = 0
-                if record.flags >= self.flags_to_remove:
-                    record.removed = True
-                    newly_removed.append(name)
-        return newly_removed
+        with obs_span("trust.observe_validators") as sp:
+            newly_removed: list[str] = []
+            flagged_now = 0
+            for name in self.active():
+                record = self._records[name]
+                if name in votes:
+                    record.votes += 1
+                    if votes[name] != outcome_accepted:
+                        record.disagreements += 1
+                else:
+                    record.absences += 1
+                if record.disagreement_rate(self.min_votes) > self.flag_threshold:
+                    record.flags += 1
+                    flagged_now += 1
+                    # Flagging resets the window so one bad streak is one flag,
+                    # not a permanent stain that re-flags every decision.
+                    record.votes = record.disagreements = record.absences = 0
+                    if record.flags >= self.flags_to_remove:
+                        record.removed = True
+                        newly_removed.append(name)
+            sp.set_attr("flagged", flagged_now)
+            sp.set_attr("removed", len(newly_removed))
+            if self.registry is not None:
+                self.registry.counter("validator_decisions_total").inc()
+                if flagged_now:
+                    self.registry.counter("validators_flagged_total").inc(flagged_now)
+                if newly_removed:
+                    self.registry.counter("validators_removed_total").inc(len(newly_removed))
+                self.registry.gauge("validators_active").set(len(self.active()))
+            return newly_removed
 
     def stats(self) -> dict[str, dict]:
         return {

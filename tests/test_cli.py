@@ -62,6 +62,40 @@ class TestCli:
         assert "signature OK" in text
         assert "hash-verified" in text
 
+    def test_metrics_prometheus(self, capsys):
+        assert main(["metrics", "--items", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_blocks_total counter" in out
+        assert 'repro_txs_total{code="valid"}' in out
+        assert 'repro_spans_total{name="client.submit",status="ok"}' in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--items", "1", "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["blocks_total"] >= 1
+        assert "chain_height" in snap["gauges"]
+
+    def test_trace_tree_and_chrome_export(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--items", "1", "--breakdown", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "client.submit" in out
+        assert "fabric.peer.endorse" in out
+        assert "storage breakdown (Fig. 5)" in out
+        assert "retrieval breakdown (Fig. 6)" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"], "chrome trace should contain events"
+
+    def test_trace_leaves_global_tracer_disabled(self):
+        from repro.obs import get_tracer
+
+        assert main(["trace", "--items", "1"]) == 0
+        assert get_tracer() is None
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FabricError
+from repro.errors import ObservabilityError
 from repro.fabric.monitor import (
     ChannelMonitor,
     Histogram,
@@ -21,7 +21,7 @@ class TestMetricsRegistry:
         assert reg.snapshot()["counters"]["requests"] == 3
 
     def test_counter_rejects_negative(self):
-        with pytest.raises(FabricError):
+        with pytest.raises(ObservabilityError):
             MetricsRegistry().counter("x").inc(-1)
 
     def test_gauge_sets(self):
@@ -39,7 +39,7 @@ class TestMetricsRegistry:
         assert hist.mean == pytest.approx(138.875)
 
     def test_histogram_unsorted_buckets_rejected(self):
-        with pytest.raises(FabricError):
+        with pytest.raises(ObservabilityError):
             Histogram(name="bad", buckets=(10.0, 1.0))
 
     def test_render_prometheus_format(self):
@@ -66,7 +66,7 @@ class TestChannelMonitor:
             channel.invoke(alice, "kv", "put", [f"k{i}", "v"])
         snap = monitor.metrics.snapshot()
         assert snap["counters"]["blocks_total"] == 3
-        assert snap["counters"]["txs_total_valid"] == 3
+        assert snap["counters"]['txs_total{code="valid"}'] == 3
         assert snap["gauges"]["chain_height"] == 3
 
     def test_invalid_tx_counted_by_code(self):
@@ -76,8 +76,8 @@ class TestChannelMonitor:
         channel.invoke_async(alice, "kv", "increment", ["c"])
         channel.flush()
         snap = monitor.metrics.snapshot()
-        assert snap["counters"]["txs_total_valid"] == 1
-        assert snap["counters"]["txs_total_mvcc_read_conflict"] == 1
+        assert snap["counters"]['txs_total{code="valid"}'] == 1
+        assert snap["counters"]['txs_total{code="mvcc_read_conflict"}'] == 1
 
     def test_block_fill_histogram(self):
         net, channel, alice = make_network(max_batch_size=4)

@@ -1,0 +1,109 @@
+"""Prometheus exposition conformance tests for the metrics layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry
+from repro.obs.export import metrics_json, render_prometheus
+from repro.obs.metrics import Histogram, labelset, render_labels
+
+
+class TestLabels:
+    def test_labelset_is_sorted_and_stringified(self):
+        assert labelset({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+        assert labelset(None) == ()
+        assert labelset({}) == ()
+
+    def test_label_order_does_not_split_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"a": 1, "b": 2}).inc()
+        reg.counter("hits", labels={"b": 2, "a": 1}).inc()
+        assert reg.snapshot()["counters"]['hits{a="1",b="2"}'] == 2
+
+    def test_render_labels_escapes_quotes_and_backslashes(self):
+        rendered = render_labels(labelset({"msg": 'say "hi"\\now'}))
+        assert rendered == '{msg="say \\"hi\\"\\\\now"}'
+
+
+class TestExpositionFormat:
+    def _registry(self):
+        reg = MetricsRegistry(prefix="t")
+        reg.counter("txs_total", labels={"code": "valid"}).inc(3)
+        reg.counter("txs_total", labels={"code": "bad_sig"}).inc()
+        reg.gauge("height").set(7)
+        hist = reg.histogram("lat_seconds", (0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        return reg
+
+    def test_one_type_line_per_family(self):
+        text = self._registry().render()
+        assert text.count("# TYPE t_txs_total counter") == 1
+        assert text.count("# TYPE t_height gauge") == 1
+        assert text.count("# TYPE t_lat_seconds histogram") == 1
+
+    def test_type_line_precedes_its_samples(self):
+        lines = self._registry().render().splitlines()
+        type_idx = lines.index("# TYPE t_txs_total counter")
+        sample_idxs = [i for i, l in enumerate(lines) if l.startswith("t_txs_total{")]
+        assert sample_idxs and all(i > type_idx for i in sample_idxs)
+
+    def test_labeled_counter_series(self):
+        text = self._registry().render()
+        assert 't_txs_total{code="valid"} 3.0' in text
+        assert 't_txs_total{code="bad_sig"} 1.0' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self._registry().render()
+        assert 't_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 't_lat_seconds_bucket{le="1.0"} 3' in text
+        assert 't_lat_seconds_bucket{le="10.0"} 4' in text
+
+    def test_histogram_inf_bucket_equals_count(self):
+        text = self._registry().render()
+        assert 't_lat_seconds_bucket{le="+Inf"} 5' in text
+        assert "t_lat_seconds_count 5" in text
+
+    def test_histogram_sum(self):
+        text = self._registry().render()
+        assert f"t_lat_seconds_sum {0.05 + 0.5 + 0.5 + 5.0 + 50.0}" in text
+
+    def test_render_ends_with_newline(self):
+        assert self._registry().render().endswith("\n")
+
+    def test_render_prometheus_helper_uses_given_registry(self):
+        reg = self._registry()
+        assert render_prometheus(reg) == reg.render()
+
+
+class TestRegistryBehaviour:
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(name="bad", buckets=(2.0, 1.0))
+
+    def test_same_name_same_labels_is_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", labels={"x": 1}) is reg.counter("a", labels={"x": 1})
+        assert reg.counter("a", labels={"x": 1}) is not reg.counter("a", labels={"x": 2})
+
+    def test_clear_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.clear()
+        assert reg.render() == "\n"
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+
+    def test_metrics_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", labels={"kind": "read"}).inc(2)
+        reg.histogram("lat", (1.0,)).observe(0.5)
+        snap = json.loads(metrics_json(reg))
+        assert snap["counters"]['ops{kind="read"}'] == 2
+        assert snap["histograms"]["lat"]["n"] == 1
