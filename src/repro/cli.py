@@ -7,6 +7,7 @@ every invocation stands up a fresh network — there is no daemon):
 * ``ingest``               — batch-ingest synthetic traffic videos, print throughput
 * ``figure {2,3,4,5,6}``   — regenerate one of the paper's evaluation figures
 * ``query "<text>"``       — run a query against a freshly populated demo set
+* ``chaos``                — run a seeded fault-injection scenario (``chaos list`` to enumerate)
 * ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
 * ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
 * ``info``                 — version and default configuration
@@ -69,6 +70,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write a Chrome trace_event JSON (chrome://tracing)")
     trace.add_argument("--breakdown", action="store_true",
                        help="print the per-stage Fig. 5/6 latency decomposition")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection scenario against a live deployment"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser("run", help="run one scenario and print its report")
+    chaos_run.add_argument("scenario", help="scenario name (see `repro chaos list`)")
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument("--cycles", type=int, default=None,
+                           help="override the scenario's cycle count")
+    chaos_run.add_argument("--metrics", action="store_true",
+                           help="also print resilience/chaos metrics after the run")
+    chaos_run.add_argument("--json", action="store_true", dest="as_json",
+                           help="print the summary as JSON (for CI)")
+    chaos_sub.add_parser("list", help="list available scenarios")
 
     sub.add_parser("info", help="version and defaults")
     return parser
@@ -285,6 +301,45 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import SCENARIOS, get_scenario
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    if args.chaos_command == "list":
+        for name, factory in sorted(SCENARIOS.items()):
+            doc = (factory.__doc__ or "").strip().splitlines()[0] if factory.__doc__ else ""
+            print(f"{name:<12} {doc}")
+        return 0
+
+    registry = MetricsRegistry()
+    set_registry(registry)
+    scenario = get_scenario(args.scenario, seed=args.seed, n_cycles=args.cycles)
+    report = scenario.run()
+    summary = report.summary()
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"scenario   : {summary['scenario']} (seed {summary['seed']})")
+        print(f"cycles     : {summary['submitted_ok']}/{summary['cycles']} submitted, "
+              f"{summary['degraded_cycles']} degraded")
+        print(f"faults     : {summary['faults_injected']} injected")
+        print(f"data loss  : {summary['data_loss']} "
+              f"({'ZERO — all stored entries survived' if summary['data_loss'] == 0 else 'entries lost'})")
+        print(f"fingerprint: {summary['fingerprint']}")
+        failed = [c for c in report.cycles
+                  if c.submit_error or c.retrieve_error or c.repair_error]
+        for c in failed[:20]:
+            errs = "/".join(filter(None, (c.submit_error, c.retrieve_error, c.repair_error)))
+            faults = f"  [{', '.join(c.faults)}]" if c.faults else ""
+            print(f"  cycle {c.cycle:>3}: {errs}{faults}")
+    if args.metrics:
+        from repro.obs import render_prometheus
+
+        print()
+        print(render_prometheus(registry), end="")
+    return 0 if report.data_loss == 0 else 1
+
+
 def _cmd_info() -> int:
     from repro.core import FrameworkConfig
 
@@ -314,6 +369,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover - argparse enforces choices

@@ -110,6 +110,7 @@ class BftReplica(NetNode):
         self._decided_seqs: set[int] = set()
         self._view_votes: dict[int, dict[str, ViewChange]] = {}
         self._pending_timeouts: dict[str, bool] = {}
+        self._rearms: dict[str, int] = {}  # view changes triggered per request
         self._checkpoint_votes: dict[tuple[int, str], set[str]] = {}
         self.stable_checkpoint = -1  # highest garbage-collected sequence
         if behaviour is Behaviour.CRASHED:
@@ -179,6 +180,15 @@ class BftReplica(NetNode):
     def _check_timeout(self, request: ClientRequest) -> None:
         if self._pending_timeouts.get(request.request_id):
             return  # committed in time
+        rearms = self._rearms.get(request.request_id, 0)
+        if rearms >= self.cluster.max_view_changes:
+            # Give up on this request: unbounded re-arming turns one lost
+            # request into a permanent view-change storm under message
+            # loss. Past the cap, recovery belongs to the client's retry
+            # (which re-submits under a fresh request id).
+            self._pending_timeouts.pop(request.request_id, None)
+            return
+        self._rearms[request.request_id] = rearms + 1
         self._start_view_change(self.view + 1, pending=(request,))
         # Re-arm: if the next primary is also faulty, keep rotating views.
         self.after(self.cluster.view_timeout, lambda: self._check_timeout(request))
@@ -385,6 +395,14 @@ class BftReplica(NetNode):
             return
         votes = self._view_votes.setdefault(msg.new_view, {})
         votes[msg.replica] = msg
+        if self.name not in votes and len(votes) > self.f:
+            # PBFT's amplification rule: once f+1 peers vouch for a higher
+            # view, at least one honest replica timed out — join the view
+            # change so desynced views reconverge under message loss. The
+            # loopback of our own vote re-enters this handler and runs the
+            # quorum check below with the updated vote set.
+            self._cast(ViewChange(new_view=msg.new_view, replica=self.name, pending=()))
+            return
         if len(votes) >= self._quorum():
             self._enter_view(msg.new_view)
             if self.is_primary():
@@ -427,6 +445,7 @@ class BftCluster:
         view_timeout: float = 5.0,
         on_decision: Callable[[str, Decision], None] | None = None,
         checkpoint_interval: int = 0,
+        max_view_changes: int = 8,
     ) -> None:
         if n_replicas < 4:
             raise ConsensusError("PBFT needs n >= 4 (n = 3f+1, f >= 1)")
@@ -434,6 +453,7 @@ class BftCluster:
         self.replica_names = [f"validator-{i}" for i in range(n_replicas)]
         self._validator = validator or (lambda name, req: True)
         self.view_timeout = view_timeout
+        self.max_view_changes = max_view_changes
         self.checkpoint_interval = checkpoint_interval
         self._on_decision = on_decision
         behaviours = behaviours or {}

@@ -18,8 +18,18 @@ import json
 from dataclasses import dataclass
 
 from repro.core.framework import Framework
-from repro.errors import UntrustedSourceError
+from repro.crypto.cid import CID
+from repro.errors import (
+    DagError,
+    FabricError,
+    IntegrityError,
+    InvalidBlockError,
+    ResilienceError,
+    StorageError,
+    UntrustedSourceError,
+)
 from repro.fabric import Identity, ValidationCode
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import span as obs_span
 from repro.query import QueryEngine, QueryRow
 from repro.trust import SourceTier
@@ -47,9 +57,18 @@ class SubmissionReceipt:
 
 @dataclass(frozen=True)
 class RetrievalResult:
+    """What a retrieval returns.
+
+    ``degraded=True`` means the off-chain bytes were unreachable but the
+    on-chain metadata is served anyway (``data`` is empty and ``failure``
+    says why) — availability degrades before the read fails outright.
+    """
+
     record: dict
     data: bytes
     verified: bool
+    degraded: bool = False
+    failure: str | None = None
 
     @property
     def cid(self) -> str:
@@ -139,7 +158,7 @@ class Client:
             metadata = dict(metadata)
             metadata.setdefault("source_id", source_id)
             metadata.setdefault("data_hash", data_hash)
-            result = framework.channel.invoke(
+            result = framework.resilient_invoke(
                 self.identity, "data_upload", "add_data", [cid, data_hash, json.dumps(metadata)]
             )
             entry_id = json.loads(result.response)["entry_id"] if result.ok else result.tx_id
@@ -147,13 +166,13 @@ class Client:
             # Provenance trail for the new entry.
             if result.ok:
                 with obs_span("submit.provenance"):
-                    framework.channel.invoke(
+                    framework.resilient_invoke(
                         self.identity,
                         "provenance",
                         "record",
                         [entry_id, "captured", source_id, json.dumps({"data_hash": data_hash})],
                     )
-                    framework.channel.invoke(
+                    framework.resilient_invoke(
                         self.identity,
                         "provenance",
                         "record",
@@ -222,29 +241,84 @@ class Client:
     # Retrieval path (Figure 1 Ⓐ–Ⓓ)
     # ------------------------------------------------------------------
 
-    def retrieve(self, entry_id: str, verify: bool = True) -> RetrievalResult:
+    def retrieve(
+        self, entry_id: str, verify: bool = True, allow_degraded: bool = True
+    ) -> RetrievalResult:
         """Fetch a record's metadata from the chain and its bytes from IPFS.
 
         The on-chain ACL (access_control chaincode) is consulted first:
         restricted entries are only served to allowed orgs, and denials are
         written to the immutable access log.
+
+        The off-chain fetch is self-healing: a corrupted replica is
+        quarantined and the bytes re-fetched from surviving copies, and if
+        the off-chain tier is unreachable entirely the on-chain metadata is
+        still served with ``degraded=True`` (set ``allow_degraded=False``
+        to fail instead).
         """
         with obs_span("client.retrieve") as root:
             root.set_attr("entry_id", entry_id)
             with obs_span("retrieve.acl"):
                 self._enforce_acl(entry_id)
-            row = self.engine.get(entry_id, fetch_data=True, verify=verify)
-            with obs_span("retrieve.provenance"):
-                self.framework.channel.invoke(
-                    self.identity,
-                    "provenance",
-                    "record",
-                    [entry_id, "accessed", self.source_id, "{}"],
-                )
-            root.set_attr("bytes", len(row.data or b""))
-            return RetrievalResult(
-                record=row.record, data=row.data or b"", verified=row.verified
+            row = self.engine.get(entry_id, fetch_data=False)
+            data, verified, degraded, failure = self._fetch_with_recovery(
+                row.record, verify=verify, allow_degraded=allow_degraded
             )
+            with obs_span("retrieve.provenance") as sp:
+                try:
+                    self.framework.resilient_invoke(
+                        self.identity,
+                        "provenance",
+                        "record",
+                        [entry_id, "accessed", self.source_id, "{}"],
+                    )
+                except (FabricError, ResilienceError) as exc:
+                    # The read itself succeeded; losing one access-log entry
+                    # must not fail it — but it must not vanish silently.
+                    sp.set_attr("write_failed", type(exc).__name__)
+                    get_registry().counter("provenance_write_failures_total").inc()
+            root.set_attr("bytes", len(data or b""))
+            if degraded:
+                root.set_attr("degraded", True)
+            return RetrievalResult(
+                record=row.record,
+                data=data or b"",
+                verified=verified,
+                degraded=degraded,
+                failure=failure,
+            )
+
+    def _fetch_with_recovery(
+        self, record: dict, verify: bool, allow_degraded: bool
+    ) -> tuple[bytes | None, bool, bool, str | None]:
+        """Returns ``(data, verified, degraded, failure)`` for a record.
+
+        Recovery ladder: a hash mismatch quarantines the corrupted blocks
+        cluster-wide and re-fetches from clean replicas; an unreachable
+        off-chain tier degrades to metadata-only (when allowed).
+        """
+        try:
+            try:
+                data = self.engine.fetch_payload(record, verify=verify)
+                return data, verify, False, None
+            except (IntegrityError, DagError, InvalidBlockError):
+                # IntegrityError: reassembled bytes mismatch the on-chain
+                # hash. DagError / InvalidBlockError: a locally stored
+                # block failed verification mid-walk. All three mean
+                # corruption somewhere in the replica set.
+                dropped = self.framework.ipfs.quarantine(CID.parse(record["cid"]))
+                if dropped == 0:
+                    # No block was corrupt: the on-chain record itself
+                    # disagrees with the bytes — refetching cannot help.
+                    raise
+                get_registry().counter("integrity_refetch_total").inc()
+                data = self.engine.fetch_payload(record, verify=verify)
+                return data, verify, False, None
+        except (StorageError, ResilienceError) as exc:
+            if not allow_degraded:
+                raise
+            get_registry().counter("degraded_reads_total").inc()
+            return None, False, True, f"{type(exc).__name__}: {exc}"
 
     def query(self, text: str, fetch_data: bool = False) -> list[QueryRow]:
         return self.engine.run(text, fetch_data=fetch_data)

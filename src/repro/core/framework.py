@@ -20,10 +20,21 @@ from repro.chaincodes import (
     UserRegistrationChaincode,
 )
 from repro.chaincodes.access import AccessControlChaincode
-from repro.errors import TrustError
+from repro.errors import (
+    AccessDeniedError,
+    ChaincodeError,
+    ChaincodeNotFoundError,
+    CircuitOpenError,
+    FabricError,
+    IdentityError,
+    MVCCConflictError,
+    TrustError,
+)
 from repro.fabric import Channel, FabricNetwork, Identity, Role
+from repro.fabric.tx import ValidationCode
 from repro.ipfs import FixedSizeChunker, IpfsCluster
 from repro.ipfs.chunker import Chunker
+from repro.resilience import ResilienceHub, RetryPolicy, retry
 from repro.trust import SourceTier, TrustEngine, ValidatorPool
 
 
@@ -48,6 +59,11 @@ class FrameworkConfig:
     # rejected up-front when trusted neighbours contradict its observation.
     strict_admission: bool = False
     corroboration_floor: float = 0.5
+    # Resilience layer (retry/breaker semantics shared by every hot path).
+    retry_max_attempts: int = 4
+    breaker_failure_threshold: int = 8
+    breaker_cooldown_s: float = 0.25
+    resilience_seed: int = 0
 
 
 class Framework:
@@ -83,6 +99,12 @@ class Framework:
             trusted_threshold=cfg.trusted_threshold,
             min_threshold=cfg.min_trust_threshold,
         )
+        self.resilience = ResilienceHub(
+            retry_policy=RetryPolicy(max_attempts=cfg.retry_max_attempts),
+            failure_threshold=cfg.breaker_failure_threshold,
+            cooldown_s=cfg.breaker_cooldown_s,
+            seed=cfg.resilience_seed,
+        )
         self.validator_pool = ValidatorPool()
         if cfg.consensus == "bft":
             for name in self.channel.orderer.cluster.replica_names:  # type: ignore[attr-defined]
@@ -90,6 +112,71 @@ class Framework:
         # The operator identity used for registration bookkeeping.
         self.admin = self.fabric.register_identity("framework-admin", cfg.orgs[0], Role.ADMIN)
         self.channel.invoke(self.admin, "admin_enrollment", "enroll_admin", ["framework-admin"])
+
+    # -- resilient write path ---------------------------------------------------
+
+    # Deterministic request-level failures: every retry would fail the same
+    # way, so the resilience layer lets them propagate immediately.
+    _NO_RETRY = (
+        ChaincodeError,
+        ChaincodeNotFoundError,
+        AccessDeniedError,
+        IdentityError,
+        CircuitOpenError,
+    )
+
+    def resilient_invoke(
+        self,
+        identity: Identity,
+        chaincode: str,
+        fn: str,
+        args: list[str],
+        op: str | None = None,
+        endorsing_orgs: list[str] | None = None,
+        transient: dict[str, bytes] | None = None,
+    ):
+        """``channel.invoke`` hardened for a faulty deployment.
+
+        Each attempt passes through the ``"fabric"`` circuit breaker, and
+        transient failures — endorsement failures after peer failover,
+        ordering hiccups, MVCC read conflicts — are retried with exponential
+        backoff and deterministic jitter. Every retry builds a *fresh*
+        proposal (new nonce, new tx id), so a transaction stalled inside a
+        slow consensus instance can still commit later: the write path is
+        at-least-once, and idempotence lives in the chaincodes.
+        """
+        op = op or f"{chaincode}.{fn}"
+        breaker = self.resilience.breaker("fabric")
+
+        def attempt():
+            if not breaker.allow():
+                raise CircuitOpenError("fabric", breaker.retry_after_s())
+            try:
+                result = self.channel.invoke(
+                    identity, chaincode, fn, args, endorsing_orgs, transient
+                )
+            except self._NO_RETRY:
+                raise
+            except FabricError:
+                breaker.record_failure()
+                raise
+            if result.code is ValidationCode.MVCC_READ_CONFLICT:
+                # A conflict is contention, not dependency sickness — retry
+                # with a fresh read set but don't count it against fabric.
+                raise MVCCConflictError(
+                    f"transaction {result.tx_id!r} hit an MVCC read conflict"
+                )
+            breaker.record_success()
+            return result
+
+        return retry(
+            attempt,
+            policy=self.resilience.retry_policy,
+            retryable=(FabricError,),
+            should_retry=lambda exc: not isinstance(exc, self._NO_RETRY),
+            op=op,
+            seed=self.resilience.seed,
+        )
 
     # -- source management (paper Figure 1: users register before submitting) --
 
@@ -101,7 +188,7 @@ class Framework:
         org = org or self.config.orgs[0]
         identity = self.fabric.register_identity(source_id, org, Role.CLIENT)
         tier_str = "trusted" if tier is SourceTier.TRUSTED else "untrusted"
-        self.channel.invoke(
+        self.resilient_invoke(
             self.admin,
             "user_registration",
             "register_user",
@@ -126,7 +213,7 @@ class Framework:
             return []
         removed = self.validator_pool.observe_decision(accepted, votes)
         for name in removed:
-            self.channel.invoke(
+            self.resilient_invoke(
                 self.admin,
                 "trust_score",
                 "remove_validator",
@@ -138,7 +225,7 @@ class Framework:
         import json
 
         record = self.trust.chain_record(source_id)
-        self.channel.invoke(
+        self.resilient_invoke(
             self.admin, "trust_score", "put_score", [source_id, json.dumps(record)]
         )
 

@@ -8,6 +8,8 @@ fabric (blockchain), consensus, trust, and query errors each get a branch.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro framework."""
@@ -89,8 +91,38 @@ class IdentityError(FabricError):
     """Unknown, unauthorized, or revoked identity."""
 
 
+@dataclass(frozen=True)
+class EndorsementAttempt:
+    """One peer (or org) tried during endorsement and why it failed.
+
+    ``kind`` classifies the failure so failover logic and chaos tests can
+    assert on causes: ``"offline"`` (the peer was down), ``"no_peers"``
+    (an org had no online peer at all), or the raising error's class name
+    for anything else (e.g. ``"ChaincodeNotFoundError"``).
+    """
+
+    peer: str
+    org: str
+    kind: str
+    error: str = ""
+
+
 class EndorsementError(FabricError):
-    """A transaction proposal failed to gather a satisfying endorsement set."""
+    """A transaction proposal failed to gather a satisfying endorsement set.
+
+    Carries the per-peer :class:`EndorsementAttempt` trail so callers (and
+    chaos tests) can see which peers/orgs were tried and why each failed.
+    """
+
+    def __init__(self, message: str, attempts: tuple[EndorsementAttempt, ...] | list = ()) -> None:
+        super().__init__(message)
+        self.attempts: tuple[EndorsementAttempt, ...] = tuple(attempts)
+
+    def attempted_orgs(self) -> list[str]:
+        return sorted({a.org for a in self.attempts})
+
+    def attempted_peers(self) -> list[str]:
+        return [a.peer for a in self.attempts if a.peer]
 
 
 class ChaincodeError(FabricError):
@@ -145,6 +177,49 @@ class TrustError(ReproError):
 
 class UntrustedSourceError(TrustError):
     """A submission was rejected because the source's trust score is too low."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for failures surfaced by the resilience layer."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """An operation kept failing after every allowed retry attempt."""
+
+    def __init__(self, op: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"operation {op!r} failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the dependency is being given time to heal."""
+
+    def __init__(self, dependency: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit for {dependency!r} is open; retry in {retry_after_s:.3f}s"
+        )
+        self.dependency = dependency
+        self.retry_after_s = retry_after_s
+
+
+class FailoverExhaustedError(ResilienceError):
+    """Every candidate target of a failover group failed."""
+
+    def __init__(self, op: str, attempts: tuple = ()) -> None:
+        detail = "; ".join(f"{a.target}: {a.error}" for a in attempts) or "no candidates"
+        super().__init__(f"failover for {op!r} exhausted: {detail}")
+        self.op = op
+        self.attempts = tuple(attempts)
 
 
 # ---------------------------------------------------------------------------

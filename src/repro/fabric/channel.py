@@ -21,7 +21,15 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.errors import ChaincodeError, EndorsementError, FabricError
+from repro.errors import (
+    AccessDeniedError,
+    ChaincodeError,
+    ChaincodeNotFoundError,
+    EndorsementAttempt,
+    EndorsementError,
+    FabricError,
+    IdentityError,
+)
 from repro.fabric.chaincode import Chaincode, ChaincodeDefinition
 from repro.fabric.events import EventHub
 from repro.fabric.identity import Identity, Role
@@ -37,6 +45,7 @@ from repro.fabric.tx import (
     TxProposal,
     ValidationCode,
 )
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import span as obs_span
 from repro.util.clock import Clock, WallClock
 
@@ -191,21 +200,13 @@ class Channel:
             transient=unsigned.transient,
         )
 
-    def _endorsing_peers(self, chaincode: str, endorsing_orgs: list[str] | None) -> list[Peer]:
+    def _endorsing_orgs(self, chaincode: str, endorsing_orgs: list[str] | None) -> list[str]:
         definition = next(
             (d for d in self._definitions if d.chaincode.name == chaincode), None
         )
         if definition is None:
             raise FabricError(f"chaincode {chaincode!r} not installed on {self.name!r}")
-        orgs = endorsing_orgs or sorted(definition.policy.required_orgs())
-        peers: list[Peer] = []
-        for org in orgs:
-            candidates = self.org_peers(org)
-            if candidates:
-                peers.append(candidates[0])
-        if not peers:
-            raise EndorsementError(f"no online peers available for orgs {orgs}")
-        return peers
+        return endorsing_orgs or sorted(definition.policy.required_orgs())
 
     def endorse(
         self,
@@ -216,16 +217,61 @@ class Channel:
         endorsing_orgs: list[str] | None = None,
         transient: dict[str, bytes] | None = None,
     ) -> tuple[TxProposal, list[ProposalResponse]]:
-        """Run the endorsement phase only (exposed for tests and benches)."""
+        """Run the endorsement phase only (exposed for tests and benches).
+
+        Per org, surviving peers are tried in order — a peer that raises
+        (crashed mid-request, stale liveness flag) is skipped and the next
+        peer of the same org endorses instead. Only when *no* org produced
+        a response is :class:`~repro.errors.EndorsementError` raised,
+        carrying the full :class:`~repro.errors.EndorsementAttempt` trail so
+        callers can tell offline peers from chaincode-level failures.
+        """
         with obs_span("fabric.endorse") as sp:
             sp.set_attr("chaincode", chaincode)
             sp.set_attr("fn", fn)
             proposal = self._build_proposal(identity, chaincode, fn, args, transient)
-            peers = self._endorsing_peers(chaincode, endorsing_orgs)
-            responses = []
-            for peer in peers:
-                responses.append(peer.endorse(proposal))
-                self.stats.endorsement_rtts += 1
+            orgs = self._endorsing_orgs(chaincode, endorsing_orgs)
+            responses: list[ProposalResponse] = []
+            attempts: list[EndorsementAttempt] = []
+            for org in orgs:
+                candidates = self.org_peers(org)
+                if not candidates:
+                    attempts.append(EndorsementAttempt(peer="", org=org, kind="no_peers"))
+                    continue
+                for i, peer in enumerate(candidates):
+                    try:
+                        response = peer.endorse(proposal)
+                    except (
+                        IdentityError,
+                        AccessDeniedError,
+                        ChaincodeError,
+                        ChaincodeNotFoundError,
+                    ):
+                        # Request-level failure: every peer would reject it
+                        # identically, so failover would only mask the cause.
+                        raise
+                    except FabricError as exc:
+                        attempts.append(
+                            EndorsementAttempt(
+                                peer=peer.name,
+                                org=org,
+                                kind=type(exc).__name__,
+                                error=str(exc),
+                            )
+                        )
+                        continue
+                    if i > 0:
+                        get_registry().counter(
+                            "endorse_failover_total", {"org": org}
+                        ).inc()
+                    responses.append(response)
+                    self.stats.endorsement_rtts += 1
+                    break
+            if not responses:
+                raise EndorsementError(
+                    f"no online peers available for orgs {orgs}", attempts
+                )
+            sp.set_attr("endorsements", len(responses))
             return proposal, responses
 
     def assemble(
@@ -317,20 +363,41 @@ class Channel:
         args: list[str],
         peer: str | None = None,
     ) -> str:
-        """Read-only chaincode execution on one peer; no ordering."""
+        """Read-only chaincode execution on one peer; no ordering.
+
+        With no explicit ``peer``, online peers are tried in order — a peer
+        that fails mid-query is skipped and the next one answers. Request-
+        level errors (bad identity, unknown chaincode, chaincode failure)
+        propagate immediately: every peer would reject them the same way.
+        """
         with obs_span("fabric.query") as sp:
             sp.set_attr("chaincode", chaincode)
             sp.set_attr("fn", fn)
             proposal = self._build_proposal(identity, chaincode, fn, args)
-            if peer is not None:
-                target = self.peers[peer]
-            else:
-                online = [p for p in self.peers.values() if p.online]
-                if not online:
-                    raise FabricError("no online peer to query")
-                target = online[0]
             self.stats.queries += 1
-            return target.query(proposal)
+            if peer is not None:
+                return self.peers[peer].query(proposal)
+            online = [p for p in self.peers.values() if p.online]
+            if not online:
+                raise FabricError("no online peer to query")
+            last_error: FabricError | None = None
+            for i, target in enumerate(online):
+                try:
+                    result = target.query(proposal)
+                except (
+                    IdentityError,
+                    AccessDeniedError,
+                    ChaincodeError,
+                    ChaincodeNotFoundError,
+                ):
+                    raise
+                except FabricError as exc:
+                    last_error = exc
+                    continue
+                if i > 0:
+                    get_registry().counter("query_failover_total").inc()
+                return result
+            raise FabricError("every online peer failed the query") from last_error
 
     # -- maintenance ------------------------------------------------------------------
 

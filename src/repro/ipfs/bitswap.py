@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.crypto.cid import CID
-from repro.errors import BlockNotFoundError
+from repro.errors import BlockNotFoundError, InvalidBlockError
 from repro.ipfs.block import Block
 from repro.ipfs.blockstore import Blockstore
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -46,6 +47,7 @@ class BitswapStats:
     fetch_failures: int = 0
     refusals: int = 0
     duplicate_wants: int = 0
+    corrupt_rejected: int = 0
 
 
 class Engine:
@@ -61,6 +63,8 @@ class Engine:
         self.ledgers: dict[str, Ledger] = {}
         self.wantlist: set[CID] = set()
         self.stats = BitswapStats()
+        # Crashed engines neither serve nor fetch; the cluster flips this.
+        self.online = True
         # Resolution of peer id -> Engine, injected by the cluster/swarm.
         self._peers: dict[str, "Engine"] = {}
 
@@ -69,6 +73,21 @@ class Engine:
         self._peers[other.peer_id] = other
         other._peers[self.peer_id] = self
 
+    def disconnect(self, peer_id: str) -> None:
+        """Tear down the session with ``peer_id`` (both directions)."""
+        other = self._peers.pop(peer_id, None)
+        if other is not None:
+            other._peers.pop(self.peer_id, None)
+
+    def disconnect_all(self) -> None:
+        """Tear down every session (node decommission)."""
+        for peer_id in list(self._peers):
+            self.disconnect(peer_id)
+
+    def peers(self) -> list[str]:
+        """Peer ids with an open session, sorted."""
+        return sorted(self._peers)
+
     def ledger_for(self, peer: str) -> Ledger:
         return self.ledgers.setdefault(peer, Ledger(peer=peer))
 
@@ -76,6 +95,8 @@ class Engine:
 
     def handle_want(self, requester: str, cid: CID) -> Block | None:
         """Serve a block if we have it and the requester isn't freeloading."""
+        if not self.online:
+            return None
         ledger = self.ledger_for(requester)
         over_grace = ledger.bytes_sent > self.GRACE_BYTES
         if over_grace and ledger.debt_ratio() > self.MAX_DEBT_RATIO:
@@ -116,7 +137,16 @@ class Engine:
                 block = self._peers[peer].handle_want(self.peer_id, cid)
                 if block is None:
                     continue
-                verified = Block.verified(block.cid, block.data)  # trust no peer
+                try:
+                    verified = Block.verified(block.cid, block.data)  # trust no peer
+                except InvalidBlockError:
+                    # Corrupted bytes from this peer — reject and keep trying
+                    # the remaining providers rather than poisoning the store.
+                    self.stats.corrupt_rejected += 1
+                    get_registry().counter(
+                        "ipfs_corrupt_blocks_total", {"peer": peer}
+                    ).inc()
+                    continue
                 ledger = self.ledger_for(peer)
                 ledger.bytes_received += len(verified)
                 ledger.blocks_received += 1

@@ -81,6 +81,14 @@ class MemoryBlockstore:
     def total_bytes(self) -> int:
         return sum(len(d) for d in self._blocks.values())
 
+    def corrupt(self, cid: CID, data: bytes) -> None:
+        """Chaos hook: overwrite the bytes stored for ``cid`` without
+        touching the key, simulating silent bit rot. Reads keep succeeding
+        with wrong bytes until a verify/quarantine pass catches them."""
+        if cid not in self._blocks:
+            raise BlockNotFoundError(cid)
+        self._blocks[cid] = data
+
 
 class FSBlockstore:
     """Filesystem blockstore with two-character shard directories.

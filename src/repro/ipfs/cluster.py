@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.cid import CID
-from repro.errors import StorageError
+from repro.crypto.cid import CID, CODEC_DAG_JSON
+from repro.errors import BlockNotFoundError, InvalidBlockError, StorageError
+from repro.ipfs.block import Block
 from repro.ipfs.chunker import Chunker
 from repro.ipfs.dht import DhtRegistry
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.unixfs import AddResult
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import span as obs_span
 
 
@@ -58,7 +60,10 @@ class IpfsCluster:
 
     def node(self, peer_id: str | None = None) -> IpfsNode:
         if peer_id is None:
-            return next(iter(self.nodes.values()))
+            for candidate in self.nodes.values():
+                if candidate.online:
+                    return candidate
+            raise StorageError("no online cluster node")
         try:
             return self.nodes[peer_id]
         except KeyError:
@@ -67,6 +72,19 @@ class IpfsCluster:
     def peer_ids(self) -> list[str]:
         return list(self.nodes)
 
+    def online_peer_ids(self) -> list[str]:
+        return [peer_id for peer_id, node in self.nodes.items() if node.online]
+
+    # -- membership / chaos hooks -------------------------------------------------
+
+    def crash_node(self, peer_id: str) -> None:
+        """Crash a node in place: it stops serving and fetching, but keeps
+        its blockstore so a later :meth:`restart_node` brings the data back."""
+        self.node(peer_id).set_online(False)
+
+    def restart_node(self, peer_id: str) -> None:
+        self.node(peer_id).set_online(True)
+
     def remove_node(self, peer_id: str) -> None:
         """Take a node out of the swarm (crash/decommission): its blocks
         become unreachable, its DHT records are forgotten, and bitswap
@@ -74,9 +92,7 @@ class IpfsCluster:
         node = self.node(peer_id)  # raises on unknown id
         del self.nodes[peer_id]
         self.dht.leave(peer_id)
-        for other in self.nodes.values():
-            other.bitswap._peers.pop(peer_id, None)
-        node.bitswap._peers.clear()
+        node.bitswap.disconnect_all()
 
     # -- cluster-level API -------------------------------------------------------
 
@@ -90,6 +106,12 @@ class IpfsCluster:
         with obs_span("ipfs.add") as sp:
             sp.set_attr("bytes", len(data))
             target = self.node(node)
+            if not target.online:
+                # The requested node is down — fail over to any online node
+                # rather than writing into a crashed store.
+                get_registry().counter("ipfs_failover_total", {"op": "add"}).inc()
+                sp.set_attr("failover_from", target.peer_id)
+                target = self.node(None)
             sp.set_attr("node", target.peer_id)
             result = target.add_bytes(data)
             if announce:
@@ -103,17 +125,82 @@ class IpfsCluster:
             return providers
 
     def cat(self, cid: CID, node: str | None = None) -> bytes:
-        """Read a file from any node, discovering providers via the DHT."""
+        """Read a file from any node, discovering providers via the DHT.
+
+        If the DHT-advertised providers can't serve every block (crashed
+        node, stale provider record), the read fails over to the online
+        nodes that actually hold the complete file."""
         with obs_span("ipfs.cat") as sp:
             reader = self.node(node)
+            if not reader.online:
+                raise StorageError(f"cluster node {reader.peer_id!r} is offline")
             sp.set_attr("node", reader.peer_id)
             if reader.has_local(cid):
                 try:
                     return reader.cat_local(cid)
                 except StorageError:
-                    pass  # partial local copy: fall through to remote fetch
+                    # Partial local copy: fall through to the remote path.
+                    sp.set_attr("partial_local", True)
+                    get_registry().counter("ipfs_partial_local_total").inc()
             providers = self.providers_for(cid, reader.peer_id)
-            return reader.cat(cid, providers=providers)
+            try:
+                return reader.cat(cid, providers=providers)
+            except BlockNotFoundError:
+                # Stale-provider recovery: only content that *was* announced
+                # may fall over to replicas — unannounced content stays
+                # undiscoverable, as DHT semantics require.
+                if not providers:
+                    raise
+                fallback = [
+                    peer_id
+                    for peer_id, other in sorted(self.nodes.items())
+                    if other.online
+                    and peer_id != reader.peer_id
+                    and peer_id not in providers
+                    and other.blockstore.has(cid)
+                ]
+                if not fallback:
+                    raise
+                get_registry().counter(
+                    "ipfs_failover_total", {"op": "cat_providers"}
+                ).inc()
+                sp.set_attr("failover_providers", len(fallback))
+                return reader.cat(cid, providers=fallback)
+
+    def quarantine(self, cid: CID) -> int:
+        """Delete locally-stored blocks under ``cid`` whose bytes no longer
+        match their CID (detected corruption), cluster-wide. Returns the
+        number of blocks removed; a follow-up :meth:`cat` re-fetches clean
+        copies from surviving replicas."""
+        removed = 0
+        with obs_span("ipfs.quarantine") as sp:
+            for node in self.nodes.values():
+                removed += self._quarantine_node(node, cid)
+            sp.set_attr("removed", removed)
+        if removed:
+            get_registry().counter("ipfs_quarantined_blocks_total").inc(removed)
+        return removed
+
+    @staticmethod
+    def _quarantine_node(node: IpfsNode, root: CID) -> int:
+        removed = 0
+        stack = [root]
+        seen: set[CID] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen or not node.blockstore.has(current):
+                continue
+            seen.add(current)
+            block = node.blockstore.get(current)
+            try:
+                Block.verified(current, block.data)
+            except InvalidBlockError:
+                node.blockstore.delete(current)
+                removed += 1
+                continue
+            if current.codec == CODEC_DAG_JSON:
+                stack.extend(link.cid for link in node.dag.get(current).links)
+        return removed
 
     def stat(self) -> ClusterStat:
         return ClusterStat(

@@ -44,6 +44,14 @@ class IpfsNode:
         self.pins = PinManager()
         self.bitswap = Engine(peer_id, self.blockstore)
 
+    @property
+    def online(self) -> bool:
+        """Whether this node is up; crashed nodes neither serve nor fetch."""
+        return self.bitswap.online
+
+    def set_online(self, up: bool) -> None:
+        self.bitswap.online = up
+
     # -- local operations -----------------------------------------------------
 
     def add_bytes(self, data: bytes, pin: bool = True) -> AddResult:

@@ -49,16 +49,19 @@ class ReplicationManager:
     # -- placement ---------------------------------------------------------------
 
     def placement(self, cid: CID) -> list[str]:
-        """The nodes that *should* hold ``cid`` (rendezvous hashing)."""
-        peers = self.cluster.peer_ids()
+        """The nodes that *should* hold ``cid`` (rendezvous hashing).
+
+        Only online nodes are candidates — placing a replica on a crashed
+        node would count phantom copies toward the replication factor."""
+        peers = self.cluster.online_peer_ids()
         k = min(self.replication_factor, len(peers))
         return sorted(peers, key=lambda p: -_rendezvous_score(cid, p))[:k]
 
     def holders(self, cid: CID) -> list[str]:
-        """Nodes that actually hold the complete subgraph under ``cid``."""
+        """Online nodes that actually hold the complete subgraph under ``cid``."""
         out = []
         for peer_id, node in self.cluster.nodes.items():
-            if not node.blockstore.has(cid):
+            if not node.online or not node.blockstore.has(cid):
                 continue
             try:
                 dag = DagService(node.blockstore)
@@ -87,13 +90,16 @@ class ReplicationManager:
             providers = sorted(current)
             target.cat(cid, providers=providers)  # pulls all blocks via bitswap
             target.pin(cid)
+            # Announce the new replica so reads can discover it after the
+            # original adder crashes (what ipfs-cluster does on pin).
+            self.cluster.dht.provide(target_id, cid)
             current.add(target_id)
         return self.status(cid)
 
     def status(self, cid: CID) -> ReplicationStatus:
         return ReplicationStatus(
             cid=cid,
-            desired=min(self.replication_factor, len(self.cluster.peer_ids())),
+            desired=min(self.replication_factor, len(self.cluster.online_peer_ids())),
             holders=self.holders(cid),
         )
 

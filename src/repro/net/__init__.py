@@ -10,7 +10,7 @@ from repro.net.latency import (
 )
 from repro.net.message import Message
 from repro.net.node import NetNode
-from repro.net.simnet import NetStats, SimNetwork
+from repro.net.simnet import FaultAction, NetStats, SimNetwork
 from repro.net.trace import MessageTrace, TraceEntry
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "LatencyModel",
     "LogNormalLatency",
     "PairwiseLatency",
+    "FaultAction",
     "Message",
     "NetNode",
     "NetStats",

@@ -48,8 +48,26 @@ class NetStats:
     dropped_rate: int = 0
     dropped_partition: int = 0
     dropped_down: int = 0
+    dropped_chaos: int = 0
+    duplicated_chaos: int = 0
+    delayed_chaos: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What an installed fault injector wants done to one message.
+
+    Returned by ``SimNetwork.fault_injector(msg)``; the default (all-clear)
+    action leaves the message alone. ``drop`` wins over the other fields."""
+
+    drop: bool = False
+    extra_delay_s: float = 0.0
+    duplicate: bool = False
+
+
+NO_FAULT = FaultAction()
 
 
 class SimNetwork:
@@ -74,6 +92,9 @@ class SimNetwork:
         self._seq = itertools.count()
         self._rng = rng_for(seed, "net", "drops")
         self._running = False
+        # Chaos hook: when set, called once per sent message (after the
+        # drop_rate check) and may drop, delay, or duplicate it.
+        self.fault_injector: Callable[[Message], FaultAction] | None = None
         # Delivery taps: observers (tracers, debuggers) called for every
         # delivered message, after stats are updated and before the handler.
         self.taps: list[Handler] = []
@@ -146,10 +167,20 @@ class SimNetwork:
         if self.drop_rate and self._rng.random() < self.drop_rate:
             self.stats.dropped_rate += 1
             return
+        fault = self.fault_injector(msg) if self.fault_injector is not None else NO_FAULT
+        if fault.drop:
+            self.stats.dropped_chaos += 1
+            return
         delay = self.latency.delay(src, dst, size_bytes)
         if delay < 0:
             raise NetworkError("latency model returned a negative delay")
+        if fault.extra_delay_s > 0:
+            self.stats.delayed_chaos += 1
+            delay += fault.extra_delay_s
         self.schedule(delay, lambda: self._deliver(msg))
+        if fault.duplicate:
+            self.stats.duplicated_chaos += 1
+            self.schedule(delay, lambda: self._deliver(msg))
 
     def broadcast(self, src: str, payload: Any, size_bytes: int = 256, kind: str = "msg") -> None:
         """Send to every other node (the BFT protocols' primitive)."""

@@ -62,6 +62,9 @@ STAGE_LABELS = {
     "ipfs.node.cat": "off-chain fetch",
     "query.verify": "integrity verify",
     "retrieve.provenance": "provenance",
+    # resilience (both paths; cheap and usually absent when healthy)
+    "resilience.retry": "retry backoff",
+    "ipfs.quarantine": "quarantine",
 }
 
 UNATTRIBUTED = "(uninstrumented)"

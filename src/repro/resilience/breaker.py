@@ -1,0 +1,135 @@
+"""Circuit breakers: stop hammering a dependency that keeps failing.
+
+The classic three-state machine. **Closed**: calls flow, consecutive
+failures are counted. **Open** (after ``failure_threshold`` consecutive
+failures): calls are refused with :class:`repro.errors.CircuitOpenError`
+until ``cooldown_s`` has passed. **Half-open**: a limited number of trial
+calls probe the dependency — one success closes the circuit, one failure
+re-opens it and restarts the cooldown.
+
+State is exported as the ``circuit_state{dep=...}`` gauge (0 closed,
+1 half-open, 2 open) and every transition increments
+``circuit_transitions_total{dep=..., to=...}``, so breaker activity shows
+up directly in ``repro metrics`` output. ``now`` is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError
+from repro.obs.metrics import get_registry
+
+T = TypeVar("T")
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+_STATE_GAUGE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1, BreakerState.OPEN: 2}
+
+
+class CircuitBreaker:
+    """Per-dependency failure isolation."""
+
+    def __init__(
+        self,
+        dependency: str,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        half_open_trials: int = 1,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.dependency = dependency
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_trials = half_open_trials
+        self._now = now
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trials_allowed = 0
+        # Create the gauge series eagerly so the dependency shows up in
+        # metrics output even before any transition.
+        get_registry().gauge("circuit_state", {"dep": dependency}).set(0)
+
+    # -- state machine ----------------------------------------------------------
+
+    def _transition(self, to: BreakerState) -> None:
+        if to is self.state:
+            return
+        self.state = to
+        registry = get_registry()
+        registry.gauge("circuit_state", {"dep": self.dependency}).set(_STATE_GAUGE[to])
+        registry.counter(
+            "circuit_transitions_total", {"dep": self.dependency, "to": to.value}
+        ).inc()
+
+    def set_clock(self, now: Callable[[], float]) -> None:
+        """Swap the time source (e.g. for a simulated/deterministic clock)."""
+        self._now = now
+
+    def retry_after_s(self) -> float:
+        """Seconds until the open circuit will admit a half-open trial."""
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self._now() - self._opened_at))
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Half-open admits limited trials.)"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self._now() - self._opened_at < self.cooldown_s:
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+            self._trials_allowed = self.half_open_trials
+        # Half-open: admit up to half_open_trials probes.
+        if self._trials_allowed > 0:
+            self._trials_allowed -= 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._now()
+        self._trials_allowed = 0
+        self._transition(BreakerState.OPEN)
+
+    # -- convenience wrapper ------------------------------------------------------
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker: refuse when open, record outcome."""
+        if not self.allow():
+            raise CircuitOpenError(self.dependency, self.retry_after_s())
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,57 @@
+"""Failover reads: try candidates in order until one serves.
+
+:func:`try_each` is the generic primitive behind peer/provider failover —
+call ``fn(target)`` for each candidate, collecting a typed
+:class:`FailoverAttempt` per failure, and raise
+:class:`repro.errors.FailoverExhaustedError` (carrying the full attempt
+trail) only when *every* candidate failed. Successful failovers are
+counted so recovery actions are visible in metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+from repro.errors import FailoverExhaustedError, ReproError
+from repro.obs.metrics import get_registry
+
+T = TypeVar("T")
+Target = TypeVar("Target")
+
+
+@dataclass(frozen=True)
+class FailoverAttempt:
+    """One candidate that failed, and how."""
+
+    target: str
+    error: str
+    kind: str = ""
+
+
+def try_each(
+    targets: Iterable[Target],
+    fn: Callable[[Target], T],
+    *,
+    op: str = "failover",
+    classify: Callable[[BaseException], str] | None = None,
+) -> tuple[T, list[FailoverAttempt]]:
+    """Return ``(result, failed_attempts)`` from the first target that works.
+
+    Only :class:`ReproError` failures trigger failover — programming errors
+    propagate immediately. ``classify`` maps an exception to an attempt
+    ``kind`` (defaults to the exception class name).
+    """
+    attempts: list[FailoverAttempt] = []
+    for target in targets:
+        try:
+            result = fn(target)
+        except ReproError as exc:
+            kind = classify(exc) if classify is not None else type(exc).__name__
+            attempts.append(FailoverAttempt(target=str(target), error=str(exc), kind=kind))
+            get_registry().counter("failover_attempts_total", {"op": op}).inc()
+            continue
+        if attempts:
+            get_registry().counter("failover_success_total", {"op": op}).inc()
+        return result, attempts
+    raise FailoverExhaustedError(op, tuple(attempts))

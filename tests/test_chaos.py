@@ -1,0 +1,211 @@
+"""Chaos engineering: seeded fault injection drives the whole stack and the
+system must come back — zero data loss, deterministic recovery traces."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    IpfsNodeCrash,
+    MessageChaosOn,
+    NetChaosInjector,
+    get_scenario,
+)
+from repro.core import FrameworkConfig
+from repro.errors import ReproError
+from repro.net import FaultAction
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(MetricsRegistry())
+
+
+def _msg(i=0):
+    return Message(src="a", dst="b", payload=i)
+
+
+class TestNetChaosInjector:
+    def test_same_seed_same_decision_stream(self):
+        a = NetChaosInjector(3, drop_rate=0.2, duplicate_rate=0.1, delay_rate=0.1)
+        b = NetChaosInjector(3, drop_rate=0.2, duplicate_rate=0.1, delay_rate=0.1)
+        assert [a(_msg(i)) for i in range(200)] == [b(_msg(i)) for i in range(200)]
+
+    def test_different_seeds_diverge(self):
+        a = NetChaosInjector(3, drop_rate=0.5)
+        b = NetChaosInjector(4, drop_rate=0.5)
+        assert [a(_msg(i)) for i in range(64)] != [b(_msg(i)) for i in range(64)]
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            NetChaosInjector(0, drop_rate=0.6, duplicate_rate=0.6)
+
+    def test_zero_rates_never_fault(self):
+        injector = NetChaosInjector(0)
+        assert all(not a.drop and not a.duplicate and a.extra_delay_s == 0.0
+                   for a in (injector(_msg(i)) for i in range(50)))
+
+
+class TestSimnetFaultInjection:
+    def _network_pair(self):
+        net = SimNetwork()
+        inbox = []
+        net.register("a", lambda m: None)
+        net.register("b", inbox.append)
+        return net, inbox
+
+    def test_drop_action_suppresses_delivery(self):
+        net, inbox = self._network_pair()
+        net.fault_injector = lambda m: FaultAction(drop=True)
+        net.send("a", "b", 0)
+        net.run()
+        assert inbox == []
+        assert net.stats.dropped_chaos == 1
+
+    def test_duplicate_action_delivers_twice(self):
+        net, inbox = self._network_pair()
+        net.fault_injector = lambda m: FaultAction(duplicate=True)
+        net.send("a", "b", 0)
+        net.run()
+        assert len(inbox) == 2
+        assert net.stats.duplicated_chaos == 1
+
+    def test_delay_action_postpones_delivery(self):
+        net, inbox = self._network_pair()
+        net.fault_injector = lambda m: FaultAction(extra_delay_s=5.0)
+        net.send("a", "b", 0)
+        net.run(until=1.0)
+        assert inbox == []
+        net.run()
+        assert len(inbox) == 1
+        assert net.stats.delayed_chaos == 1
+
+    def test_removing_the_injector_restores_clean_delivery(self):
+        net, inbox = self._network_pair()
+        net.fault_injector = lambda m: FaultAction(drop=True)
+        net.send("a", "b", 0)
+        net.fault_injector = None
+        net.send("a", "b", 1)
+        net.run()
+        assert len(inbox) == 1
+
+
+class TestStandardScenario:
+    """The acceptance scenario: 1 of 3 IPFS nodes down, 1 fabric peer per
+    org offline, 10% message drops (with a brief 50% storm) — 50 cycles."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        return get_scenario("standard", seed=0, n_cycles=50).run(), registry
+
+    @pytest.fixture()
+    def report(self, run):
+        return run[0]
+
+    def test_zero_data_loss(self, report):
+        assert report.data_loss == 0
+        assert report.stored == report.submitted_ok
+
+    def test_most_cycles_submit_despite_faults(self, report):
+        assert report.submitted_ok >= 40
+
+    def test_recovers_after_the_drop_storm(self, report):
+        # The storm window (cycles 20-23) may fail; the tail must recover.
+        tail = [c for c in report.cycles if c.cycle >= 30]
+        assert all(c.submitted and c.retrieved for c in tail)
+
+    def test_failures_are_typed_never_uncaught(self, report):
+        for c in report.cycles:
+            for err in (c.submit_error, c.retrieve_error, c.repair_error):
+                assert err == "" or err.endswith("Error")
+
+    def test_retries_and_breaker_transitions_are_visible(self, run):
+        counters = run[1].snapshot()["counters"]
+        assert any(k.startswith("retries_total") for k in counters)
+        assert counters.get('circuit_transitions_total{dep="fabric",to="open"}', 0) >= 1
+        assert counters.get('circuit_transitions_total{dep="fabric",to="closed"}', 0) >= 1
+        assert counters.get('chaos_faults_total{kind="MessageChaosOn"}', 0) == 3
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_identical_fingerprint(self):
+        fingerprints = []
+        for _ in range(2):
+            set_registry(MetricsRegistry())  # metrics must not leak between runs
+            report = get_scenario("standard", seed=11, n_cycles=30).run()
+            fingerprints.append(report.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_fault_schedule_is_part_of_the_fingerprint(self):
+        set_registry(MetricsRegistry())
+        with_faults = get_scenario("standard", seed=0, n_cycles=10).run()
+        set_registry(MetricsRegistry())
+        quiet = ChaosScenario(
+            name="standard",
+            config=FrameworkConfig(
+                consensus="bft", peers_per_org=2, n_ipfs_nodes=3, resilience_seed=0
+            ),
+            faults=[],
+            n_cycles=10,
+            seed=0,
+        )
+        assert with_faults.fingerprint() != quiet.run().fingerprint()
+
+
+class TestRecoveryScenarios:
+    def test_corruption_is_quarantined_and_refetched(self):
+        report = get_scenario("corruption", seed=0, n_cycles=15).run()
+        assert report.data_loss == 0
+        counters = get_registry().snapshot()["counters"]
+        assert counters.get("ipfs_quarantined_blocks_total", 0) >= 1
+
+    def test_partition_heals_and_submissions_resume(self):
+        report = get_scenario("partition", seed=0, n_cycles=25).run()
+        assert report.data_loss == 0
+        by_cycle = {c.cycle: c for c in report.cycles}
+        assert not by_cycle[10].submitted          # quorum destroyed
+        assert by_cycle[24].submitted              # healed + breaker recovered
+        counters = get_registry().snapshot()["counters"]
+        assert counters.get('circuit_transitions_total{dep="fabric",to="closed"}', 0) >= 1
+
+    def test_churn_never_loses_data(self):
+        report = get_scenario("churn", seed=0, n_cycles=35).run()
+        assert report.data_loss == 0
+        assert report.submitted_ok == 35
+
+    def test_ipfs_crash_leaves_reads_replica_served(self):
+        scenario = ChaosScenario(
+            name="ipfs-crash",
+            config=FrameworkConfig(n_ipfs_nodes=3, resilience_seed=0),
+            faults=[IpfsNodeCrash(at_cycle=3, peer_id="ipfs-0")],
+            n_cycles=8,
+            seed=0,
+        )
+        report = scenario.run()
+        assert report.data_loss == 0
+        assert all(not c.degraded for c in report.cycles)
+
+
+class TestScenarioRegistry:
+    def test_unknown_scenario_is_a_typed_error(self):
+        with pytest.raises(ReproError, match="unknown chaos scenario"):
+            get_scenario("nope")
+
+    def test_custom_drop_storm_still_converges(self):
+        scenario = ChaosScenario(
+            name="storm",
+            config=FrameworkConfig(
+                consensus="bft", peers_per_org=2, n_ipfs_nodes=3, resilience_seed=5
+            ),
+            faults=[MessageChaosOn(at_cycle=1, seed=5, drop_rate=0.25)],
+            n_cycles=15,
+            seed=5,
+        )
+        report = scenario.run()
+        assert report.data_loss == 0

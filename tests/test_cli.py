@@ -1,5 +1,7 @@
 """Smoke tests for the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -103,3 +105,31 @@ class TestCli:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestChaosCommand:
+    def test_chaos_list(self, capsys):
+        assert main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("standard", "corruption", "partition", "churn"):
+            assert name in out
+
+    def test_chaos_run_short_standard(self, capsys):
+        assert main(["chaos", "run", "standard", "--seed", "0", "--cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "data loss  : 0" in out
+        assert "fingerprint:" in out
+
+    def test_chaos_run_json_and_metrics(self, capsys):
+        assert main(["chaos", "run", "corruption", "--seed", "1", "--cycles", "8",
+                     "--json", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.index("\n# ")])  # JSON, then Prometheus text
+        assert doc["data_loss"] == 0
+        assert "repro_chaos_faults_total" in out
+
+    def test_chaos_unknown_scenario_is_typed(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["chaos", "run", "definitely-not-a-scenario"])
