@@ -30,6 +30,8 @@ def standard(seed: int = 0, n_cycles: int = 50) -> ChaosScenario:
         consensus="bft",
         peers_per_org=2,
         n_ipfs_nodes=3,
+        # Batched ordering on: faults must not lose txs queued behind a batch.
+        max_batch_size=4,
         resilience_seed=seed,
     )
     return ChaosScenario(

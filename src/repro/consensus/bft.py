@@ -60,15 +60,25 @@ class Behaviour(str, Enum):
 
 @dataclass(frozen=True)
 class Decision:
-    """One slot of the agreed log, identical on every honest replica."""
+    """One slot of the agreed log, identical on every honest replica.
+
+    For a batched request (``request.n_items > 1``) the slot carries one
+    verdict *per item*: ``item_accepted[i]`` is item i's 2/3-quorum outcome
+    and ``item_votes[replica][i]`` that replica's vote on item i. The
+    aggregate ``accepted``/``votes`` fields summarize the whole batch
+    (accepted iff every item was accepted) so single-transaction consumers
+    keep working unchanged.
+    """
 
     seq: int
     view: int
     request: ClientRequest
-    accepted: bool           # >= 2/3 of commit votes said "valid"
+    accepted: bool           # >= 2/3 of commit votes said "valid" (every item)
     valid_votes: int
     invalid_votes: int
     votes: dict[str, bool] = field(default_factory=dict, compare=False)
+    item_accepted: tuple[bool, ...] = ()
+    item_votes: dict[str, tuple[bool, ...]] = field(default_factory=dict, compare=False)
 
 
 def _digest(request: ClientRequest) -> str:
@@ -82,7 +92,7 @@ class _SlotState:
     pre_prepare: PrePrepare | None = None
     prepares: dict[str, Prepare] = field(default_factory=dict)
     commits: dict[str, Commit] = field(default_factory=dict)
-    my_verdict: bool | None = None
+    my_verdict: tuple[bool, ...] | None = None  # one verdict per batch item
     sent_prepare: bool = False
     sent_commit: bool = False
     decided: bool = False
@@ -219,16 +229,27 @@ class BftReplica(NetNode):
     def _slot(self, view: int, seq: int) -> _SlotState:
         return self._slots.setdefault((view, seq), _SlotState())
 
-    def _verdict_for(self, request: ClientRequest) -> bool:
+    def _verdict_for(self, request: ClientRequest) -> tuple[bool, ...]:
+        """Per-item validation verdicts for a (possibly batched) request."""
+        n = max(1, request.n_items)
         if self.behaviour is Behaviour.ALWAYS_VALID:
-            return True
+            return (True,) * n
         if self.behaviour is Behaviour.ALWAYS_INVALID:
-            return False
+            return (False,) * n
         # The validation smart contract executes here (paper §III step 6).
         with obs_span("consensus.validate") as sp:
             sp.set_attr("replica", self.name)
             sp.set_attr("request", request.request_id)
-            return self.cluster.validate(self.name, request)
+            sp.set_attr("items", n)
+            verdict = self.cluster.validate(self.name, request)
+        if isinstance(verdict, (tuple, list)):
+            if len(verdict) != n:
+                raise ConsensusError(
+                    f"validator returned {len(verdict)} verdicts for a "
+                    f"{n}-item request {request.request_id!r}"
+                )
+            return tuple(bool(v) for v in verdict)
+        return (bool(verdict),) * n
 
     def _vote_digest(self, digest: str) -> str:
         if self.behaviour is Behaviour.WRONG_DIGEST:
@@ -253,7 +274,12 @@ class BftReplica(NetNode):
         slot.my_verdict = self._verdict_for(msg.request)
         self._cast(
             Prepare(
-                msg.view, msg.seq, self._vote_digest(msg.digest), self.name, slot.my_verdict
+                msg.view,
+                msg.seq,
+                self._vote_digest(msg.digest),
+                self.name,
+                all(slot.my_verdict),
+                item_votes=slot.my_verdict,
             )
         )
         self._maybe_progress(msg.view, msg.seq)
@@ -277,6 +303,10 @@ class BftReplica(NetNode):
             # never changes — the thresholds are mutually exclusive.
             if msg.digest == slot.pre_prepare.digest:
                 slot.decision.votes.setdefault(msg.replica, msg.valid)
+                n_items = len(slot.decision.item_accepted) or 1
+                slot.decision.item_votes.setdefault(
+                    msg.replica, tuple(msg.item_vote(i) for i in range(n_items))
+                )
             return
         self._maybe_progress(msg.view, msg.seq)
 
@@ -289,25 +319,39 @@ class BftReplica(NetNode):
         # Prepared: pre-prepare + 2f prepares matching the digest (own included).
         if not slot.sent_commit and len(matching_prepares) >= 2 * self.f + 1:
             slot.sent_commit = True
-            verdict = slot.my_verdict if slot.my_verdict is not None else False
-            self._cast(Commit(view, seq, self._vote_digest(digest), self.name, verdict))
+            n_items = max(1, slot.pre_prepare.request.n_items)
+            verdict = slot.my_verdict if slot.my_verdict is not None else (False,) * n_items
+            self._cast(
+                Commit(
+                    view,
+                    seq,
+                    self._vote_digest(digest),
+                    self.name,
+                    all(verdict),
+                    item_votes=verdict,
+                )
+            )
         matching_commits = [c for c in slot.commits.values() if c.digest == digest]
         if slot.decided or len(matching_commits) < self._quorum():
             return
         # Validity thresholds are arrival-order independent and mutually
         # exclusive: with n = 3f+1 votes, "valid >= 2f+1" and
         # "invalid >= f+1" cannot both hold (2f+1 + f+1 > n), and honest
-        # replicas vote identically, so every replica reaches one verdict.
-        valid = sum(1 for c in matching_commits if c.valid)
-        invalid = len(matching_commits) - valid
-        if valid >= self._quorum():
-            accepted = True
-        elif invalid >= self.f + 1:
-            accepted = False
-        else:
-            return  # ordered but verdict not yet determined; wait for votes
+        # replicas vote identically, so every replica reaches one verdict —
+        # applied independently to each item of a batched request.
+        n_items = max(1, slot.pre_prepare.request.n_items)
+        item_accepted: list[bool] = []
+        for i in range(n_items):
+            valid_i = sum(1 for c in matching_commits if c.item_vote(i))
+            invalid_i = len(matching_commits) - valid_i
+            if valid_i >= self._quorum():
+                item_accepted.append(True)
+            elif invalid_i >= self.f + 1:
+                item_accepted.append(False)
+            else:
+                return  # ordered but some item's verdict not yet determined
         slot.decided = True
-        self._decide(view, seq, slot, matching_commits, accepted)
+        self._decide(view, seq, slot, matching_commits, tuple(item_accepted))
 
     def _decide(
         self,
@@ -315,7 +359,7 @@ class BftReplica(NetNode):
         seq: int,
         slot: _SlotState,
         commits: list[Commit],
-        accepted: bool,
+        item_accepted: tuple[bool, ...],
     ) -> None:
         if seq in self._decided_seqs:
             return
@@ -324,14 +368,20 @@ class BftReplica(NetNode):
         valid = sum(1 for v in votes.values() if v)
         invalid = len(votes) - valid
         request = slot.pre_prepare.request  # type: ignore[union-attr]
+        item_votes = {
+            c.replica: tuple(c.item_vote(i) for i in range(len(item_accepted)))
+            for c in commits
+        }
         decision = Decision(
             seq=seq,
             view=view,
             request=request,
-            accepted=accepted,
+            accepted=all(item_accepted),
             valid_votes=valid,
             invalid_votes=invalid,
             votes=votes,
+            item_accepted=item_accepted,
+            item_votes=item_votes,
         )
         slot.decision = decision
         self.log.append(decision)
@@ -432,8 +482,10 @@ class BftCluster:
     """Builds and drives a set of PBFT replicas on one SimNetwork.
 
     ``validator(replica_name, request)`` is the per-replica validation hook —
-    the framework plugs chaincode execution in here. ``on_decision`` fires
-    once per (replica, decision).
+    the framework plugs chaincode execution in here. For batched requests
+    (``n_items > 1``) it may return a sequence of per-item verdicts; a bare
+    bool applies to every item. ``on_decision`` fires once per
+    (replica, decision).
     """
 
     def __init__(
@@ -474,7 +526,7 @@ class BftCluster:
     def primary_for(self, view: int) -> str:
         return self.replica_names[view % len(self.replica_names)]
 
-    def validate(self, replica: str, request: ClientRequest) -> bool:
+    def validate(self, replica: str, request: ClientRequest):
         return self._validator(replica, request)
 
     def notify_decision(self, replica: str, decision: Decision) -> None:
@@ -483,17 +535,24 @@ class BftCluster:
 
     # -- driving ------------------------------------------------------------------
 
-    def submit(self, payload: Any, request_id: str | None = None) -> ClientRequest:
-        """Inject a client request at a non-primary replica (worst case path)."""
+    def submit(
+        self, payload: Any, request_id: str | None = None, n_items: int = 1
+    ) -> ClientRequest:
+        """Inject a client request at a non-primary replica (worst case path).
+
+        ``n_items > 1`` submits a batched request: one consensus instance
+        whose replicas vote per item (agreement amortized over the batch).
+        """
         if request_id is None:
             request_id = f"req-{self._client_seq}"
             self._client_seq += 1
-        request = ClientRequest(request_id=request_id, payload=payload)
+        request = ClientRequest(request_id=request_id, payload=payload, n_items=n_items)
         # Clients broadcast the request to every replica (the PBFT variant
         # with client broadcast): the primary proposes it, the others arm
         # commit timeouts so a dead primary triggers a view change.
         with obs_span("consensus.round") as sp:
             sp.set_attr("request", request.request_id)
+            sp.set_attr("items", n_items)
             for replica in self.replicas.values():
                 if self.network.is_up(replica.name):
                     replica.on_request(request)

@@ -20,10 +20,17 @@ class Phase(str, Enum):
 
 @dataclass(frozen=True)
 class ClientRequest:
-    """A payload a client asks the cluster to order and validate."""
+    """A payload a client asks the cluster to order and validate.
+
+    ``n_items > 1`` marks a *batched* request: one consensus instance that
+    orders several transactions at once. Replicas then vote per item (see
+    :class:`Prepare`/:class:`Commit`), so agreement cost amortizes across
+    the batch while per-transaction validity is still decided individually.
+    """
 
     request_id: str
     payload: Any
+    n_items: int = 1
 
 
 @dataclass(frozen=True)
@@ -43,7 +50,13 @@ class Prepare:
     # The replica's independent validation verdict for the request; the
     # cluster decides transaction validity by a 2/3 quorum of these votes
     # (paper §III-A: "Validators then vote on the transaction's validity").
+    # For batched requests ``valid`` is the aggregate (all items valid) and
+    # ``item_votes`` carries the per-item verdicts, one per batch item.
     valid: bool
+    item_votes: tuple[bool, ...] = ()
+
+    def item_vote(self, i: int) -> bool:
+        return self.item_votes[i] if self.item_votes else self.valid
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,10 @@ class Commit:
     digest: str
     replica: str
     valid: bool
+    item_votes: tuple[bool, ...] = ()
+
+    def item_vote(self, i: int) -> bool:
+        return self.item_votes[i] if self.item_votes else self.valid
 
 
 @dataclass(frozen=True)

@@ -293,14 +293,18 @@ class Client:
     ) -> tuple[bytes | None, bool, bool, str | None]:
         """Returns ``(data, verified, degraded, failure)`` for a record.
 
+        ``verified`` is the *proven* outcome: True only when the bytes were
+        checked against an on-chain ``data_hash`` — a record with no stored
+        hash reads back ``verified=False`` even under ``verify=True``.
+
         Recovery ladder: a hash mismatch quarantines the corrupted blocks
         cluster-wide and re-fetches from clean replicas; an unreachable
         off-chain tier degrades to metadata-only (when allowed).
         """
         try:
             try:
-                data = self.engine.fetch_payload(record, verify=verify)
-                return data, verify, False, None
+                data, verified = self.engine.fetch_payload_verified(record, verify=verify)
+                return data, verified, False, None
             except (IntegrityError, DagError, InvalidBlockError):
                 # IntegrityError: reassembled bytes mismatch the on-chain
                 # hash. DagError / InvalidBlockError: a locally stored
@@ -312,8 +316,8 @@ class Client:
                     # disagrees with the bytes — refetching cannot help.
                     raise
                 get_registry().counter("integrity_refetch_total").inc()
-                data = self.engine.fetch_payload(record, verify=verify)
-                return data, verify, False, None
+                data, verified = self.engine.fetch_payload_verified(record, verify=verify)
+                return data, verified, False, None
         except (StorageError, ResilienceError) as exc:
             if not allow_degraded:
                 raise

@@ -3,10 +3,18 @@
 ``Client.submit`` is synchronous — one transaction, one block — which is
 right for interactive use and wrong for a camera uploading a day of
 footage. :class:`BatchIngestor` pipelines the store path: payloads go to
-IPFS immediately, metadata transactions queue into the orderer's batch
-(``max_batch_size > 1``), and one flush commits a whole block of entries.
-Provenance writes are batched the same way, and trust updates coalesce to
-one score write per source per batch rather than one per item.
+IPFS in parallel (chunking + hashing + replication overlap on a thread
+pool), metadata transactions queue into the orderer's batch
+(``max_batch_size > 1``) where *one* BFT consensus instance per block
+decides them all, and one flush commits a whole block of entries.
+Provenance writes are batched the same way — each entry's trail recorded
+under the identity of the source that submitted it — and trust updates
+coalesce to one score write per source per batch rather than one per item.
+
+Admission is per item: a non-admitted source's items are skipped and
+counted in :attr:`IngestReport.rejected` (nothing of theirs is stored
+off-chain), and the batch only fails outright when *every* item was
+inadmissible.
 """
 
 from __future__ import annotations
@@ -21,12 +29,20 @@ from repro.errors import UntrustedSourceError
 from repro.fabric import Identity, ValidationCode
 from repro.obs.tracer import span as obs_span
 from repro.trust import SourceTier
+from repro.util.parallel import parallel_map
 from repro.workloads.traffic import IngestItem
 
 
 @dataclass(frozen=True)
 class IngestReport:
-    """Throughput accounting for one batch run."""
+    """Throughput accounting for one batch run.
+
+    ``submitted`` counts items that reached the ledger as transactions
+    (admitted items); ``rejected`` counts both admission skips and
+    transactions the consensus refused. ``blocks`` counts only the blocks
+    the data transactions landed in — provenance/trust follow-up blocks
+    are bookkeeping, not ingest throughput.
+    """
 
     submitted: int
     committed: int
@@ -35,6 +51,7 @@ class IngestReport:
     payload_bytes: int
     elapsed_s: float
     entry_ids: tuple[str, ...]
+    skipped_sources: tuple[str, ...] = ()
 
     @property
     def tx_per_s(self) -> float:
@@ -53,6 +70,8 @@ class BatchIngestor:
 
     framework: Framework
     record_provenance: bool = True
+    # Thread-pool width for the off-chain store phase (None = default).
+    io_workers: int | None = None
     _identities: dict[str, Identity] = field(default_factory=dict)
 
     def register(self, identity: Identity) -> None:
@@ -67,63 +86,141 @@ class BatchIngestor:
                 f"source {source_id!r} has no registered identity in this ingestor"
             ) from None
 
+    def _admit(self, items: list[IngestItem]):
+        """Per-item admission: returns ``(admitted, skipped_sources)``.
+
+        A rejected or unknown source skips *its* items only — nothing of
+        theirs touches IPFS or the orderer queue, so a bad source can
+        neither leak stored payloads nor bleed queued transactions into
+        the next block. Raises only when no item at all was admissible.
+        """
+        admitted: list[tuple[IngestItem, Identity]] = []
+        skipped: list[str] = []
+        first_reason: str | None = None
+        for item in items:
+            with obs_span("ingest.item") as sp:
+                sp.set_attr("source_id", item.source_id)
+                try:
+                    identity = self._identity_for(item.source_id)
+                except UntrustedSourceError as exc:
+                    skipped.append(item.source_id)
+                    first_reason = first_reason or str(exc)
+                    sp.set_attr("skipped", "no_identity")
+                    continue
+                decision = self.framework.trust.admit(item.source_id)
+                if not decision.admitted:
+                    skipped.append(item.source_id)
+                    first_reason = first_reason or (
+                        f"source {item.source_id!r} rejected: {decision.reason}"
+                    )
+                    sp.set_attr("skipped", "not_admitted")
+                    continue
+                admitted.append((item, identity))
+        if items and not admitted:
+            raise UntrustedSourceError(
+                f"no admissible item in batch of {len(items)}: {first_reason}"
+            )
+        return admitted, skipped
+
     def ingest(self, items: list[IngestItem]) -> IngestReport:
-        """Submit all items, flush once, and account for the outcome."""
+        """Submit all admissible items, flush once, and account for the outcome."""
         framework = self.framework
         channel = framework.channel
         start = time.perf_counter()
-        payload_bytes = 0
-        tx_ids: list[tuple[str, str]] = []  # (tx_id, source_id)
         blocks_before = channel.height()
 
         with obs_span("ingest.batch") as root:
             root.set_attr("items", len(items))
 
-            for item in items:
-                with obs_span("ingest.item") as sp:
-                    sp.set_attr("source_id", item.source_id)
-                    identity = self._identity_for(item.source_id)
-                    decision = framework.trust.admit(item.source_id)
-                    if not decision.admitted:
-                        raise UntrustedSourceError(
-                            f"source {item.source_id!r} rejected: {decision.reason}"
-                        )
-                    add_result = framework.ipfs.add(item.payload)
-                    payload_bytes += len(item.payload)
-                    data_hash = hashlib.sha256(item.payload).hexdigest()
-                    metadata = dict(item.metadata)
-                    metadata.setdefault("source_id", item.source_id)
-                    tx_id = channel.invoke_async(
-                        identity,
-                        "data_upload",
-                        "add_data",
-                        [add_result.cid.encode(), data_hash, json.dumps(metadata)],
-                    )
-                    tx_ids.append((tx_id, item.source_id))
+            admitted, skipped = self._admit(items)
+
+            # Off-chain store: chunk + hash + replicate every payload in
+            # parallel — the per-item pipelines are independent, so the
+            # batch overlaps instead of serializing.
+            with obs_span("ingest.store") as sp:
+                payloads = [item.payload for item, _ in admitted]
+                payload_bytes = sum(len(p) for p in payloads)
+                sp.set_attr("bytes", payload_bytes)
+                add_results = framework.ipfs.add_many(
+                    payloads, max_workers=self.io_workers
+                )
+                hashes = parallel_map(
+                    lambda p: hashlib.sha256(p).hexdigest(),
+                    payloads,
+                    max_workers=self.io_workers,
+                )
+
+            # On-chain metadata: endorse + queue into the orderer's batch;
+            # one flush drives one consensus instance per cut block.
+            tx_meta: list[tuple[str, str, Identity, str, str]] = []
+            for (item, identity), add_result, data_hash in zip(
+                admitted, add_results, hashes
+            ):
+                metadata = dict(item.metadata)
+                metadata.setdefault("source_id", item.source_id)
+                tx_id = channel.invoke_async(
+                    identity,
+                    "data_upload",
+                    "add_data",
+                    [add_result.cid.encode(), data_hash, json.dumps(metadata)],
+                )
+                tx_meta.append(
+                    (tx_id, item.source_id, identity, add_result.cid.encode(), data_hash)
+                )
 
             channel.flush()
+            # Ingest throughput counts only the blocks the data landed in;
+            # provenance/trust follow-ups below cut their own blocks.
+            ingest_blocks = channel.height() - blocks_before
 
-            committed: list[str] = []
-            rejected = 0
+            committed: list[tuple[str, str, Identity, str, str, int]] = []
+            rejected = len(skipped)
             outcomes: dict[str, list[bool]] = {}
-            for tx_id, source_id in tx_ids:
+            for tx_id, source_id, identity, cid, data_hash in tx_meta:
                 result = channel.result(tx_id)
                 ok = result.code is ValidationCode.VALID
                 outcomes.setdefault(source_id, []).append(ok)
                 if ok:
-                    committed.append(json.loads(result.response)["entry_id"])
+                    entry_id = json.loads(result.response)["entry_id"]
+                    committed.append(
+                        (entry_id, source_id, identity, cid, data_hash, result.block_number)
+                    )
                 else:
                     rejected += 1
 
             if self.record_provenance and committed:
                 with obs_span("ingest.provenance"):
-                    for entry_id in committed:
-                        # Batched too: async + one flush below.
+                    # Each entry's trail is recorded under the identity of
+                    # the source that submitted it (actor = that source),
+                    # mirroring Client.submit's captured → stored trail.
+                    # Two waves with a flush between: both events of one
+                    # entry extend the same hash chain (read-modify-write
+                    # of its head), so batching them into one block would
+                    # MVCC-conflict the second event.
+                    for entry_id, source_id, identity, cid, data_hash, block in committed:
                         channel.invoke_async(
-                            self._identities[tx_ids[0][1]],
+                            identity,
                             "provenance",
                             "record",
-                            [entry_id, "stored", "batch-ingestor", "{}"],
+                            [
+                                entry_id,
+                                "captured",
+                                source_id,
+                                json.dumps({"data_hash": data_hash}),
+                            ],
+                        )
+                    channel.flush()
+                    for entry_id, source_id, identity, cid, data_hash, block in committed:
+                        channel.invoke_async(
+                            identity,
+                            "provenance",
+                            "record",
+                            [
+                                entry_id,
+                                "stored",
+                                source_id,
+                                json.dumps({"cid": cid, "block": block}),
+                            ],
                         )
                     channel.flush()
 
@@ -144,11 +241,12 @@ class BatchIngestor:
 
         elapsed = time.perf_counter() - start
         return IngestReport(
-            submitted=len(tx_ids),
+            submitted=len(tx_meta),
             committed=len(committed),
             rejected=rejected,
-            blocks=channel.height() - blocks_before,
+            blocks=ingest_blocks,
             payload_bytes=payload_bytes,
             elapsed_s=elapsed,
-            entry_ids=tuple(committed),
+            entry_ids=tuple(entry_id for entry_id, *_ in committed),
+            skipped_sources=tuple(skipped),
         )

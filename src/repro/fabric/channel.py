@@ -308,9 +308,12 @@ class Channel:
     ) -> TxResult:
         """Full write path; blocks until the transaction commits.
 
-        Requires the orderer's batch size to be 1 (the synchronous
-        configuration); with larger batches use :meth:`invoke_async` +
-        :meth:`flush`.
+        ``submit`` on the orderer is asynchronous (it only queues the
+        transaction), so this method flushes the orderer — cutting a block
+        that may be smaller than ``max_batch_size`` — when the result is
+        not already committed. High-throughput writers should prefer
+        :meth:`invoke_async` + one :meth:`flush` per batch so consensus
+        amortizes over full blocks.
         """
         with obs_span("fabric.invoke") as sp:
             sp.set_attr("chaincode", chaincode)

@@ -5,13 +5,21 @@ Two implementations behind one interface:
 * :class:`SoloOrderer` — a single sequencer with batch cutting by count or
   explicit flush. Fabric's dev-mode orderer; the "without consensus cost"
   baseline in ablations.
-* :class:`BftOrderer` — runs every transaction through a PBFT validator
-  cluster (:class:`repro.consensus.BftCluster`) before it is ordered, the
-  configuration the paper describes: validators independently re-verify the
+* :class:`BftOrderer` — runs transactions through a PBFT validator
+  cluster (:class:`repro.consensus.BftCluster`) before they are ordered, the
+  configuration the paper describes: validators independently re-verify each
   transaction (endorsement signatures + policy) and vote; a transaction
   needs a 2/3 quorum of valid votes, and rejected transactions are still
   ordered into blocks flagged ``REJECTED_BY_CONSENSUS`` so the audit trail
   shows what was refused and why.
+
+  Consensus is *batched*: ``submit`` only queues the transaction, and one
+  PBFT instance runs per cut block — the batch digest is what replicas
+  agree on, with per-transaction validity votes carried inside the
+  prepare/commit messages. ``submit`` therefore no longer implies a
+  decision; ``flush`` drives the cluster until every queued batch decides.
+  Consensus messages per committed transaction drop by roughly the batch
+  factor, which is what makes ``max_batch_size`` a real throughput lever.
 
 Orderers do not execute chaincode and never touch the world state — they
 sequence opaque envelopes, exactly as in Fabric.
@@ -20,9 +28,10 @@ sequence opaque envelopes, exactly as in Fabric.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.consensus.bft import Behaviour, BftCluster
+from repro.consensus.bft import Behaviour, BftCluster, Decision
 from repro.consensus.messages import ClientRequest
 from repro.errors import OrderingError
 from repro.fabric.ledger import Block, GENESIS_PREVIOUS_HASH
@@ -111,6 +120,10 @@ class SoloOrderer:
     def blocks_cut(self) -> int:
         return self._cutter.blocks_cut
 
+    @property
+    def txs_ordered(self) -> int:
+        return self._cutter.txs_ordered
+
 
 def default_tx_validator(tx: Transaction) -> bool:
     """What each BFT validator independently checks before voting *valid*:
@@ -126,14 +139,70 @@ def default_tx_validator(tx: Transaction) -> bool:
     return True
 
 
-class BftOrderer:
-    """Ordering via a PBFT validator cluster.
+@dataclass(frozen=True)
+class TxDecision:
+    """Per-transaction view of one batched consensus :class:`Decision`.
 
-    Each submitted transaction becomes one BFT consensus instance: the
-    digest the replicas agree on is the hash of the transaction envelope,
-    and each replica's vote is ``validator(tx)``. Decisions are collected
-    from replica 0's log (all honest replicas decide identically — that is
-    the BFT guarantee, separately tested in the consensus suite).
+    The trust engine reads ``votes``/``accepted`` per transaction; this
+    projects item ``index`` of the batch decision. Vote dictionaries are
+    *live* views: straggler commits keep enriching the underlying batch
+    decision's vote record, and those late votes show up here too.
+    """
+
+    tx_id: str
+    index: int
+    batch: Decision
+
+    @property
+    def seq(self) -> int:
+        return self.batch.seq
+
+    @property
+    def view(self) -> int:
+        return self.batch.view
+
+    @property
+    def accepted(self) -> bool:
+        items = self.batch.item_accepted
+        return items[self.index] if items else self.batch.accepted
+
+    @property
+    def votes(self) -> dict[str, bool]:
+        if self.batch.item_votes:
+            return {
+                replica: verdicts[self.index]
+                for replica, verdicts in self.batch.item_votes.items()
+                if self.index < len(verdicts)
+            }
+        return dict(self.batch.votes)
+
+    @property
+    def valid_votes(self) -> int:
+        return sum(1 for v in self.votes.values() if v)
+
+    @property
+    def invalid_votes(self) -> int:
+        votes = self.votes
+        return len(votes) - sum(1 for v in votes.values() if v)
+
+
+class BftOrderer:
+    """Ordering via a PBFT validator cluster, amortized over blocks.
+
+    ``submit`` queues the transaction; once ``max_batch_size`` transactions
+    accumulate (or ``flush`` is called) the whole batch becomes *one* BFT
+    consensus instance. The digest replicas agree on covers every envelope
+    hash in the batch, and each replica's prepare/commit vote carries one
+    ``validator(tx)`` verdict per transaction, so per-transaction
+    acceptance (and ``REJECTED_BY_CONSENSUS`` flagging) is decided exactly
+    as in the one-instance-per-transaction configuration. Decisions are
+    collected from the first replica to decide (all honest replicas decide
+    identically — that is the BFT guarantee, separately tested in the
+    consensus suite).
+
+    ``submit`` is asynchronous: it never drives the validator network.
+    ``flush`` runs the network until every in-flight batch decides, then
+    cuts the final (possibly partial) block.
     """
 
     def __init__(
@@ -147,15 +216,23 @@ class BftOrderer:
     ) -> None:
         self._cutter = _BatchCutter(max_batch_size, clock or WallClock())
         self._txs: dict[str, Transaction] = {}
-        self._decided: set[str] = set()
-        # tx_id -> the consensus Decision (validator votes, acceptance);
-        # the trust engine reads these to score sources and validators.
-        self.decisions: dict[str, object] = {}
+        self._queue: list[str] = []  # tx ids awaiting a consensus instance
+        self._decided: set[str] = set()  # batch request ids already enqueued
+        self._batch_seq = 0
+        self.batches_ordered = 0
+        # tx_id -> per-transaction consensus outcome (validator votes,
+        # acceptance); the trust engine reads these to score sources and
+        # validators.
+        self.decisions: dict[str, TxDecision] = {}
         tx_validator = validator or default_tx_validator
 
-        def replica_validator(replica_name: str, request: ClientRequest) -> bool:
-            tx = self._txs[request.payload["tx_id"]]
-            return tx_validator(tx)
+        def replica_validator(
+            replica_name: str, request: ClientRequest
+        ) -> tuple[bool, ...]:
+            # One verdict per transaction in the batch, in batch order.
+            return tuple(
+                tx_validator(self._txs[tx_id]) for tx_id in request.payload["tx_ids"]
+            )
 
         self.cluster = BftCluster(
             n_replicas=n_validators,
@@ -167,33 +244,60 @@ class BftOrderer:
 
     # -- consensus plumbing ---------------------------------------------------
 
-    def _on_decision(self, replica: str, decision) -> None:
+    def _on_decision(self, replica: str, decision: Decision) -> None:
         request_id = decision.request.request_id
         if request_id in self._decided:
-            return  # one enqueue per transaction, not per replica
+            return  # one enqueue per batch, not per replica
         self._decided.add(request_id)
-        tx = self._txs[decision.request.payload["tx_id"]]
-        self.decisions[tx.tx_id] = decision
-        self._cutter.enqueue(tx, rejected=not decision.accepted)
+        tx_ids = decision.request.payload["tx_ids"]
+        for index, tx_id in enumerate(tx_ids):
+            tx_decision = TxDecision(tx_id=tx_id, index=index, batch=decision)
+            self.decisions[tx_id] = tx_decision
+            self._cutter.enqueue(self._txs[tx_id], rejected=not tx_decision.accepted)
+
+    def _order_batch(self) -> None:
+        """Start one consensus instance over everything currently queued."""
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        with obs_span("fabric.order") as sp:
+            sp.set_attr("orderer", "bft")
+            sp.set_attr("batch_size", len(batch))
+            envelope_hashes = [
+                hashlib.sha256(self._txs[tx_id].envelope_bytes()).hexdigest()
+                for tx_id in batch
+            ]
+            batch_digest = hashlib.sha256(
+                "".join(envelope_hashes).encode()
+            ).hexdigest()
+            request_id = f"batch-{self._batch_seq}"
+            self._batch_seq += 1
+            sp.set_attr("request_id", request_id)
+            self.batches_ordered += 1
+            self.cluster.submit(
+                {
+                    "tx_ids": list(batch),
+                    "envelope_hashes": envelope_hashes,
+                    "batch_digest": batch_digest,
+                },
+                request_id=request_id,
+                n_items=len(batch),
+            )
 
     # -- orderer interface --------------------------------------------------------
 
     def submit(self, tx: Transaction) -> None:
+        """Queue a transaction for batched ordering (no decision implied)."""
         if tx.tx_id in self._txs:
             raise OrderingError(f"transaction {tx.tx_id!r} already submitted")
-        with obs_span("fabric.order") as sp:
-            sp.set_attr("orderer", "bft")
-            sp.set_attr("tx_id", tx.tx_id)
-            self._txs[tx.tx_id] = tx
-            envelope_hash = hashlib.sha256(tx.envelope_bytes()).hexdigest()
-            self.cluster.submit(
-                {"tx_id": tx.tx_id, "envelope_hash": envelope_hash},
-                request_id=tx.tx_id,
-            )
-            # Drive the validator network to a decision (synchronous ordering).
-            self.cluster.run()
+        self._txs[tx.tx_id] = tx
+        self._queue.append(tx.tx_id)
+        if len(self._queue) >= self._cutter.max_batch_size:
+            self._order_batch()
 
     def flush(self) -> None:
+        self._order_batch()
+        # Drive the validator network until every in-flight batch decides.
         self.cluster.run()
         self._cutter.cut()
 
@@ -203,6 +307,10 @@ class BftOrderer:
     @property
     def blocks_cut(self) -> int:
         return self._cutter.blocks_cut
+
+    @property
+    def txs_ordered(self) -> int:
+        return self._cutter.txs_ordered
 
     @property
     def consensus_messages(self) -> int:

@@ -20,6 +20,7 @@ from repro.ipfs.node import IpfsNode
 from repro.ipfs.unixfs import AddResult
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import span as obs_span
+from repro.util.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -117,6 +118,56 @@ class IpfsCluster:
             if announce:
                 self.dht.provide(target.peer_id, result.cid)
             return result
+
+    def add_many(
+        self,
+        payloads: list[bytes],
+        node: str | None = None,
+        announce: bool = True,
+        max_workers: int | None = None,
+    ) -> list[AddResult]:
+        """Store many payloads, overlapping chunking+hashing on a thread
+        pool; results come back in input order.
+
+        All payloads land on one node (the requested one, or the add
+        failover target), exactly as N sequential :meth:`add` calls would;
+        provider records are announced serially afterwards so the DHT sees
+        the same sequence of updates as the serial path.
+        """
+        with obs_span("ipfs.add_many") as sp:
+            sp.set_attr("items", len(payloads))
+            sp.set_attr("bytes", sum(len(p) for p in payloads))
+            if not payloads:
+                return []
+            target = self.node(node)
+            if not target.online:
+                get_registry().counter("ipfs_failover_total", {"op": "add"}).inc()
+                sp.set_attr("failover_from", target.peer_id)
+                target = self.node(None)
+            sp.set_attr("node", target.peer_id)
+            results = parallel_map(target.add_bytes, payloads, max_workers=max_workers)
+            if announce:
+                for result in results:
+                    self.dht.provide(target.peer_id, result.cid)
+            return results
+
+    def cat_many(
+        self,
+        cids: list[CID],
+        node: str | None = None,
+        max_workers: int | None = None,
+    ) -> list[bytes]:
+        """Fetch many files concurrently; results come back in input order.
+
+        Each fetch follows the full :meth:`cat` path (local fast path, DHT
+        provider discovery, bitswap, stale-provider failover); the first
+        failing fetch's error propagates, as in a serial loop.
+        """
+        with obs_span("ipfs.cat_many") as sp:
+            sp.set_attr("items", len(cids))
+            return parallel_map(
+                lambda cid: self.cat(cid, node=node), cids, max_workers=max_workers
+            )
 
     def providers_for(self, cid: CID, requester: str) -> list[str]:
         with obs_span("ipfs.dht.providers") as sp:

@@ -47,8 +47,10 @@ STAGE_LABELS = {
     "submit.trust_update": "trust update",
     "trust.observe_validators": "trust update",
     "ingest.item": "ingest prepare",
+    "ingest.store": "ipfs add",
     "ingest.provenance": "provenance",
     "ingest.trust_update": "trust update",
+    "ipfs.add_many": "ipfs add",
     "fabric.flush": "order",
     # retrieval path (paper Fig. 6 / Figure 1 steps Ⓐ–Ⓓ)
     "retrieve.acl": "acl check",
@@ -58,6 +60,7 @@ STAGE_LABELS = {
     "fabric.query": "on-chain read",
     "query.fetch": "off-chain fetch",
     "ipfs.cat": "off-chain fetch",
+    "ipfs.cat_many": "off-chain fetch",
     "ipfs.dht.providers": "dht resolve",
     "ipfs.node.cat": "off-chain fetch",
     "query.verify": "integrity verify",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 
 from repro.crypto.cid import CID
@@ -26,11 +27,18 @@ from repro.obs.tracer import span as obs_span
 from repro.query.ast import Query
 from repro.query.parser import parse_query
 from repro.query.planner import Plan, plan_query
+from repro.util.parallel import parallel_map
 
 
 @dataclass(frozen=True)
 class QueryRow:
-    """One result: the on-chain record, optionally joined with raw bytes."""
+    """One result: the on-chain record, optionally joined with raw bytes.
+
+    ``verified`` is only True when the fetched bytes were actually checked
+    against an on-chain ``data_hash`` — a record with no stored hash comes
+    back ``verified=False`` even under ``verify=True``, never silently
+    passing (the CID content-address check still ran either way).
+    """
 
     record: dict
     data: bytes | None = None
@@ -67,7 +75,11 @@ class QueryEngine:
     # Metadata-only results cached per query text, valid while the chain
     # height is unchanged (any new block may contain new matching records).
     cache_enabled: bool = True
+    # Worker threads fetching payloads concurrently share the stats object;
+    # the lock keeps its counters exact.
+    fetch_workers: int | None = None
     _cache: dict[str, tuple[int, list["QueryRow"]]] = field(default_factory=dict)
+    _stats_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # -- planning -------------------------------------------------------------
 
@@ -89,17 +101,27 @@ class QueryEngine:
         Metadata-only results (``fetch_data=False``) are cached per query
         text while the chain height is unchanged — reads are the hot path
         of the paper's retrieval story, and an unchanged chain cannot
-        change their answer.
+        change their answer. The cache entry is keyed on the chain height
+        observed *before* execution: a block committed mid-query makes the
+        stored snapshot stale against the new height, so the next run
+        re-executes instead of serving pre-commit rows as fresh.
+
+        With ``fetch_data=True`` the per-row IPFS payloads are fetched
+        concurrently on a thread pool (``fetch_workers`` caps the pool).
         """
         with obs_span("query.run") as sp:
             if isinstance(query, str):
                 sp.set_attr("query", query[:80])
             sp.set_attr("fetch_data", fetch_data)
+            # Snapshot the height first: the result set reflects the chain
+            # as of *at most* this height, and the cache must not claim
+            # freshness beyond it.
+            height_snapshot = self.channel.height()
             cache_key = None
             if self.cache_enabled and not fetch_data and isinstance(query, str):
                 cache_key = query
                 cached = self._cache.get(cache_key)
-                if cached is not None and cached[0] == self.channel.height():
+                if cached is not None and cached[0] == height_snapshot:
                     self.stats.cache_hits += 1
                     self.stats.queries += 1
                     sp.set_attr("cache_hit", True)
@@ -113,17 +135,22 @@ class QueryEngine:
             self.stats.rows_scanned += len(candidates)
             matched = [r for r in candidates if plan.residual.matches(r)]
             matched = query.apply_post(matched)
-            rows = []
-            for record in matched:
-                data, verified = None, False
-                if fetch_data:
-                    data = self.fetch_payload(record, verify=verify)
-                    verified = verify
-                rows.append(QueryRow(record=record, data=data, verified=verified))
+            if fetch_data:
+                fetched = parallel_map(
+                    lambda record: self.fetch_payload_verified(record, verify=verify),
+                    matched,
+                    max_workers=self.fetch_workers,
+                )
+                rows = [
+                    QueryRow(record=record, data=data, verified=verified)
+                    for record, (data, verified) in zip(matched, fetched)
+                ]
+            else:
+                rows = [QueryRow(record=record) for record in matched]
             self.stats.rows_returned += len(rows)
             sp.set_attr("rows", len(rows))
             if cache_key is not None:
-                self._cache[cache_key] = (self.channel.height(), list(rows))
+                self._cache[cache_key] = (height_snapshot, list(rows))
             return rows
 
     def _execute_paths(self, plan: Plan) -> list[dict]:
@@ -153,13 +180,29 @@ class QueryEngine:
                 self.identity, self.retrieval_chaincode, "get_data", [entry_id]
             )
             record = json.loads(raw)
-            data = self.fetch_payload(record, verify=verify) if fetch_data else None
-            return QueryRow(record=record, data=data, verified=fetch_data and verify)
+            data, verified = None, False
+            if fetch_data:
+                data, verified = self.fetch_payload_verified(record, verify=verify)
+            return QueryRow(record=record, data=data, verified=verified)
 
     # -- the off-chain executor ----------------------------------------------------------
 
     def fetch_payload(self, record: dict, verify: bool = True) -> bytes:
         """Fetch the raw bytes for a record from IPFS and verify integrity."""
+        data, _ = self.fetch_payload_verified(record, verify=verify)
+        return data
+
+    def fetch_payload_verified(
+        self, record: dict, verify: bool = True
+    ) -> tuple[bytes, bool]:
+        """Fetch a record's bytes and report whether integrity was *proven*.
+
+        Returns ``(data, verified)``. ``verified`` is True only when the
+        record carried an on-chain ``data_hash`` and the bytes matched it;
+        a record with no stored hash yields ``verified=False`` rather than
+        pretending the check passed. A hash mismatch raises
+        :class:`~repro.errors.IntegrityError`.
+        """
         with obs_span("query.fetch") as sp:
             try:
                 cid = CID.parse(record["cid"])
@@ -167,15 +210,24 @@ class QueryEngine:
                 raise QueryError("record has no CID") from None
             data = self.cluster.cat(cid)
             sp.set_attr("bytes", len(data))
-            self.stats.bytes_fetched += len(data)
-            if verify:
-                with obs_span("query.verify"):
+            with self._stats_lock:
+                self.stats.bytes_fetched += len(data)
+            if not verify:
+                return data, False
+            with obs_span("query.verify") as vsp:
+                stored_hash = record.get("data_hash")
+                if stored_hash is None:
+                    # Nothing on-chain to verify against: the CID check
+                    # (content addressing) ran, but the paper's metadata
+                    # cross-check could not — surface that honestly.
+                    vsp.set_attr("missing_data_hash", True)
+                    return data, False
+                with self._stats_lock:
                     self.stats.integrity_checks += 1
-                    stored_hash = record.get("data_hash")
-                    actual = hashlib.sha256(data).hexdigest()
-                    if stored_hash is not None and actual != stored_hash:
-                        raise IntegrityError(
-                            f"data for entry {record.get('entry_id')} does not match the "
-                            f"on-chain hash (expected {stored_hash[:12]}…, got {actual[:12]}…)"
-                        )
-            return data
+                actual = hashlib.sha256(data).hexdigest()
+                if actual != stored_hash:
+                    raise IntegrityError(
+                        f"data for entry {record.get('entry_id')} does not match the "
+                        f"on-chain hash (expected {stored_hash[:12]}…, got {actual[:12]}…)"
+                    )
+                return data, True
