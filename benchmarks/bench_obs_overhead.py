@@ -84,3 +84,27 @@ def test_enabled_span_call_time(benchmark):
     # Enabled tracing does real work (span object, clock reads, context
     # var); it just has to stay cheap relative to any instrumented stage.
     assert per_call_s < 1e-4
+
+
+def test_combined_artifact_written():
+    """Fold the per-mode results into one ``BENCH_obs_overhead.json`` so
+    the obs layer's perf trajectory is tracked as a single artifact.
+
+    Runs after the two benchmark tests above (pytest preserves definition
+    order), reading the files they just emitted.
+    """
+    import json
+
+    from repro.bench.report import RESULTS_DIR
+
+    series = {}
+    for mode in ("disabled", "enabled"):
+        path = RESULTS_DIR / f"BENCH_obs_overhead_{mode}.json"
+        doc = json.loads(path.read_text())
+        series[f"{mode}_per_call_s"] = doc["series"]["per_call_s"]["values"]
+    out = emit_json(
+        "obs_overhead",
+        series,
+        meta={"calls_per_round": N, "modes": ["disabled", "enabled"]},
+    )
+    assert out.exists()

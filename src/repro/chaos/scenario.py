@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.chaos.faults import Fault
 from repro.core.client import Client
@@ -136,6 +137,10 @@ class ChaosScenario:
     payload_bytes: int = 1024
     replication_factor: int = 2
     cycle_tick_s: float = 0.1  # how much breaker-time one cycle represents
+    # Observer invoked after every cycle with (cycle, framework, manager);
+    # the health/alerting layer hooks in here to evaluate the live system
+    # at each tick without the runner knowing about it.
+    on_cycle: Callable[[int, Framework, ReplicationManager], None] | None = None
 
     def schedule(self) -> dict[int, list[Fault]]:
         by_cycle: dict[int, list[Fault]] = {}
@@ -184,6 +189,8 @@ class ChaosScenario:
                         cycle, client, manager, payload_rng, fault_descs, stored
                     )
                 )
+                if self.on_cycle is not None:
+                    self.on_cycle(cycle, framework, manager)
             final_loss = self._final_sweep(client, manager, framework, stored)
             root.set_attr("data_loss", len(final_loss))
         return ChaosReport(

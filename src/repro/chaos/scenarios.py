@@ -16,6 +16,7 @@ from repro.chaos.faults import (
     MessageChaosOn,
     Partition,
     PeerOffline,
+    PeerOnline,
     ValidatorCrash,
     ValidatorRestart,
 )
@@ -49,6 +50,12 @@ def standard(seed: int = 0, n_cycles: int = 50) -> ChaosScenario:
             # breaker transitions, then return to baseline.
             MessageChaosOn(at_cycle=20, seed=seed + 1, drop_rate=0.5),
             MessageChaosOn(at_cycle=24, seed=seed + 2, drop_rate=0.10),
+            # Heal phase: every injected fault recovers before the run
+            # ends, so the alerting layer can witness the full
+            # fire→resolve lifecycle for each fault class.
+            IpfsNodeRestart(at_cycle=30, peer_id="ipfs-2"),
+            PeerOnline(at_cycle=33, peer_name="peer0.org1"),
+            PeerOnline(at_cycle=34, peer_name="peer2.org2"),
         ],
     )
 

@@ -10,6 +10,9 @@ every invocation stands up a fresh network — there is no daemon):
 * ``chaos``                — run a seeded fault-injection scenario (``chaos list`` to enumerate)
 * ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
 * ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
+* ``explorer``             — browse the ledger: blocks, txs, provenance, trust, audit
+* ``health``               — component health + SLIs for a live deployment
+* ``top``                  — live dashboard over a running chaos scenario
 * ``info``                 — version and default configuration
 """
 
@@ -84,7 +87,37 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="also print resilience/chaos metrics after the run")
     chaos_run.add_argument("--json", action="store_true", dest="as_json",
                            help="print the summary as JSON (for CI)")
+    chaos_run.add_argument("--alerts", action="store_true",
+                           help="evaluate the standard alert rules every cycle and "
+                                "verify the expected fire→resolve lifecycle (CI health gate)")
     chaos_sub.add_parser("list", help="list available scenarios")
+
+    explorer = sub.add_parser(
+        "explorer", help="browse a demo ledger: blocks, txs, provenance, trust, audit"
+    )
+    explorer.add_argument(
+        "what", nargs="?", default="summary",
+        choices=["summary", "blocks", "block", "tx", "provenance", "trust", "audit"],
+    )
+    explorer.add_argument("arg", nargs="?", default=None,
+                          help="block number / tx id / entry id, where applicable")
+    explorer.add_argument("--videos", type=int, default=2)
+    explorer.add_argument("--json", action="store_true", dest="as_json")
+
+    health = sub.add_parser(
+        "health", help="component health + rolling SLIs for a live deployment"
+    )
+    health.add_argument("--items", type=int, default=3, help="items to store first")
+    health.add_argument("--json", action="store_true", dest="as_json")
+
+    top = sub.add_parser(
+        "top", help="live health/alert dashboard over a running chaos scenario"
+    )
+    top.add_argument("--scenario", default="standard")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--cycles", type=int, default=None)
+    top.add_argument("--plain", action="store_true",
+                     help="one status line per cycle instead of redrawing the screen")
 
     sub.add_parser("info", help="version and defaults")
     return parser
@@ -303,6 +336,7 @@ def _cmd_trace(args) -> int:
 
 def _cmd_chaos(args) -> int:
     from repro.chaos import SCENARIOS, get_scenario
+    from repro.obs.alerts import ChaosAlertProbe
     from repro.obs.metrics import MetricsRegistry, set_registry
 
     if args.chaos_command == "list":
@@ -314,8 +348,21 @@ def _cmd_chaos(args) -> int:
     registry = MetricsRegistry()
     set_registry(registry)
     scenario = get_scenario(args.scenario, seed=args.seed, n_cycles=args.cycles)
+    probe = None
+    if args.alerts:
+        probe = ChaosAlertProbe(registry=registry)
+        scenario.on_cycle = probe
     report = scenario.run()
     summary = report.summary()
+    alerts_ok = True
+    if probe is not None:
+        alerts_ok, problems = probe.verify(args.scenario)
+        summary["alerts"] = {
+            "ok": alerts_ok,
+            "fingerprint": probe.engine.fingerprint() if probe.engine else None,
+            "log": [e.to_dict() for e in probe.engine.log] if probe.engine else [],
+            "problems": problems,
+        }
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
@@ -332,11 +379,176 @@ def _cmd_chaos(args) -> int:
             errs = "/".join(filter(None, (c.submit_error, c.retrieve_error, c.repair_error)))
             faults = f"  [{', '.join(c.faults)}]" if c.faults else ""
             print(f"  cycle {c.cycle:>3}: {errs}{faults}")
+        if probe is not None and probe.engine is not None:
+            print("alert log  :")
+            for line in probe.engine.render_lines():
+                print(f"  {line}")
+            print(f"alert check: {'PASS' if alerts_ok else 'FAIL'}")
+            for problem in summary["alerts"]["problems"]:
+                print(f"  !! {problem}")
     if args.metrics:
         from repro.obs import render_prometheus
 
         print()
         print(render_prometheus(registry), end="")
+    return 0 if report.data_loss == 0 and alerts_ok else 1
+
+
+def _cmd_explorer(args) -> int:
+    from repro.obs.explorer import LedgerExplorer
+
+    client, n_items = _demo_client(args.videos)
+    framework = client.framework
+    explorer = LedgerExplorer(framework.channel, ipfs=framework.ipfs)
+
+    def emit(payload) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+    if args.what == "summary":
+        summary = explorer.summary()
+        if args.as_json:
+            emit(summary)
+            return 0
+        print(f"channel   : {summary['channel']} (height {summary['height']})")
+        print(f"orgs      : {', '.join(summary['orgs'])}")
+        print(f"chaincodes: {', '.join(summary['chaincodes'])}")
+        print(f"txs       : {summary['tx_by_code']}")
+        for name, peer in summary["peers"].items():
+            print(f"  {name:<14} height={peer['height']:<4} "
+                  f"state_keys={peer['state_keys']:<5} online={peer['online']}")
+        return 0
+    if args.what == "blocks":
+        blocks = explorer.blocks()
+        if args.as_json:
+            emit(blocks)
+            return 0
+        for b in blocks:
+            txs = ", ".join(f"{t['chaincode']}.{t['fn']}({t['code']})"
+                            for t in b["transactions"])
+            print(f"block {b['number']:>3}  {b['hash'][:16]}…  {b['tx_count']} txs: {txs}")
+        return 0
+    if args.what == "block":
+        emit(explorer.block_view(int(args.arg or 0)))
+        return 0
+    if args.what == "tx":
+        if not args.arg:
+            print("usage: repro explorer tx <tx_id>", file=sys.stderr)
+            return 2
+        emit(explorer.tx_view(args.arg))
+        return 0
+    if args.what == "provenance":
+        entry_ids = [args.arg] if args.arg else explorer.entry_ids()
+        for entry_id in entry_ids:
+            trail = explorer.provenance_trail(entry_id)
+            if args.as_json:
+                emit({"entry_id": entry_id, "trail": trail})
+                continue
+            chain = " -> ".join(f"{e['action']}@{e['actor']}" for e in trail)
+            print(f"{entry_id[:16]}…  {chain}")
+        return 0
+    if args.what == "trust":
+        # The demo ingest scores sources engine-side only; snapshot the
+        # scores on-chain so there is a timeline to chart.
+        for source_id in framework.trust.sources():
+            framework.record_trust_on_chain(source_id)
+        for source_id in explorer.trust_sources():
+            timeline = explorer.trust_timeline(source_id)
+            if args.as_json:
+                emit({"source_id": source_id, "timeline": timeline})
+                continue
+            scores = " -> ".join(f"{t['score']:.3f}" for t in timeline)
+            print(f"{source_id:<12} {len(timeline)} updates: {scores}")
+        return 0
+    # audit
+    report = explorer.audit_chain()
+    if args.as_json:
+        emit(report.to_dict())
+    else:
+        print(f"dataset: {n_items} frames ingested")
+        for line in report.render_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_health(args) -> int:
+    from repro.core import Client, Framework, FrameworkConfig
+    from repro.crypto.cid import CID
+    from repro.ipfs.replication import ReplicationManager
+    from repro.obs.health import HealthMonitor
+    from repro.obs.metrics import MetricsRegistry
+    from repro.trust import SourceTier
+
+    framework = Framework(
+        FrameworkConfig(consensus="bft", peers_per_org=2, n_ipfs_nodes=3)
+    )
+    client = Client(
+        framework, framework.register_source("health-cam", tier=SourceTier.TRUSTED)
+    )
+    manager = ReplicationManager(framework.ipfs, replication_factor=2)
+    for i in range(args.items):
+        receipt = client.submit(
+            b"health probe payload %d " % i * 32,
+            {"timestamp": float(i), "camera_id": "health-cam", "detections": []},
+        )
+        manager.replicate(CID.parse(receipt.cid))
+    monitor = HealthMonitor(
+        framework, registry=MetricsRegistry(), replication=manager
+    )
+    report = monitor.check()
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"deployment: bft, 2 orgs x 2 peers, 3 ipfs nodes, "
+              f"{args.items} items stored")
+        for line in report.render_lines():
+            print(line)
+    return 0 if report.healthy else 1
+
+
+def _cmd_top(args) -> int:
+    from repro.chaos import get_scenario
+    from repro.obs.alerts import AlertEngine, ChaosAlertProbe
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    registry = MetricsRegistry()
+    set_registry(registry)
+    scenario = get_scenario(args.scenario, seed=args.seed, n_cycles=args.cycles)
+    probe = ChaosAlertProbe(registry=registry)
+    n_cycles = scenario.n_cycles
+
+    def draw(cycle: int, framework, manager) -> None:
+        probe(cycle, framework, manager)
+        report = probe.reports[-1]
+        engine: AlertEngine = probe.engine
+        if args.plain:
+            active = ",".join(engine.active()) or "-"
+            print(f"cycle {cycle:>3}/{n_cycles}  {report.status.label.upper():<9} "
+                  f"alerts: {active}")
+            return
+        lines = [
+            f"repro top — scenario {scenario.name} (seed {scenario.seed})  "
+            f"cycle {cycle + 1}/{n_cycles}",
+            "",
+            *report.render_lines(),
+            "",
+            f"alerts firing: {', '.join(engine.active()) or 'none'}",
+            "recent transitions:",
+            *[f"  {line}" for line in engine.render_lines()[-8:]],
+        ]
+        sys.stdout.write("\x1b[H\x1b[2J" + "\n".join(lines) + "\n")
+        sys.stdout.flush()
+
+    scenario.on_cycle = draw
+    report = scenario.run()
+    ok, problems = probe.verify(args.scenario)
+    print()
+    print(f"run complete: {report.summary()['submitted_ok']}/{n_cycles} cycles "
+          f"submitted, data loss {report.data_loss}")
+    print("alert log:")
+    for line in probe.engine.render_lines() if probe.engine else []:
+        print(f"  {line}")
+    for problem in problems:
+        print(f"  !! {problem}")
     return 0 if report.data_loss == 0 else 1
 
 
@@ -371,6 +583,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "explorer":
+        return _cmd_explorer(args)
+    if args.command == "health":
+        return _cmd_health(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover - argparse enforces choices

@@ -150,6 +150,8 @@ class Channel:
         for peer in self.peers.values():
             if not peer.online:
                 continue  # it will catch up via gossip anti-entropy
+            if peer.ledger.height != block.number:
+                continue  # revived mid-run behind the chain — same remedy
             committed = peer.commit_block(block, consensus_rejected=consensus_rejected)
             if annotated is None:
                 annotated = committed
@@ -233,8 +235,14 @@ class Channel:
             orgs = self._endorsing_orgs(chaincode, endorsing_orgs)
             responses: list[ProposalResponse] = []
             attempts: list[EndorsementAttempt] = []
+            height = self.height()
             for org in orgs:
-                candidates = self.org_peers(org)
+                # Discovery-service ranking: a peer still catching up after
+                # a restart would endorse against stale state and diverge
+                # the rwset, so peers at chain height are tried first.
+                candidates = sorted(
+                    self.org_peers(org), key=lambda p: p.ledger.height != height
+                )
                 if not candidates:
                     attempts.append(EndorsementAttempt(peer="", org=org, kind="no_peers"))
                     continue

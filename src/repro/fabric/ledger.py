@@ -143,7 +143,7 @@ class BlockStore:
             block_num, idx = self._by_txid[tx_id]
         except KeyError:
             raise LedgerError(f"transaction {tx_id!r} not found") from None
-        block = self._blocks[block_num]
+        block = self.block(block_num)
         code = (
             block.validation_codes[idx]
             if block.validation_codes

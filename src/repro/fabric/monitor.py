@@ -51,31 +51,12 @@ class ChannelMonitor:
 
 
 def channel_summary(channel: Channel) -> dict:
-    """Hyperledger-Explorer-style overview of one channel."""
-    peers = {}
-    tx_by_code: dict[str, int] = {}
-    reference = None
-    for name, peer in channel.peers.items():
-        peers[name] = {
-            "org": peer.org,
-            "height": peer.ledger.height,
-            "state_keys": len(peer.world),
-            "online": peer.online,
-            "txs_valid": peer.stats.txs_valid,
-            "txs_invalid": peer.stats.txs_invalid,
-        }
-        if reference is None and peer.online:
-            reference = peer
-    if reference is not None:
-        for block in reference.ledger.blocks():
-            for code in block.validation_codes or ():
-                tx_by_code[code.value] = tx_by_code.get(code.value, 0) + 1
-    return {
-        "channel": channel.name,
-        "height": channel.height(),
-        "orgs": sorted({p.org for p in channel.peers.values()}),
-        "chaincodes": channel.chaincode_names(),
-        "collections": channel.collections.names(),
-        "tx_by_code": dict(sorted(tx_by_code.items())),
-        "peers": peers,
-    }
+    """Hyperledger-Explorer-style overview of one channel.
+
+    Thin compatibility shim: the aggregation moved to
+    :meth:`repro.obs.explorer.LedgerExplorer.summary`, which also serves
+    the ``repro explorer`` CLI. Same dict shape as before.
+    """
+    from repro.obs.explorer import LedgerExplorer
+
+    return LedgerExplorer(channel).summary()

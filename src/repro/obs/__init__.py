@@ -19,6 +19,16 @@ Explorer, built in:
 * **Breakdown** (:mod:`repro.obs.breakdown`): :func:`pipeline_breakdown`
   reproduces the paper's per-stage storage/retrieval latency decomposition
   (Figs. 5–6) from real spans.
+* **Explorer** (:mod:`repro.obs.explorer`): the Hyperledger-Explorer half —
+  :class:`LedgerExplorer` browses blocks/txs, reconstructs provenance
+  trails from the ledger, charts trust timelines, and runs the full
+  on-chain + off-chain integrity audit.
+* **Health** (:mod:`repro.obs.health`): :class:`HealthMonitor` scores every
+  component (peers, orderer, validators, IPFS, DHT, breakers) and computes
+  rolling-window SLIs into a typed :class:`HealthReport`.
+* **Alerts** (:mod:`repro.obs.alerts`): declarative :class:`AlertRule`
+  evaluation with firing/resolved lifecycle, an auditable alert log, and
+  deterministic fingerprints under seeded chaos.
 
 Quickstart::
 
@@ -68,7 +78,59 @@ from repro.obs.tracer import (
     span,
 )
 
+# Explorer/health/alerts sit *above* the layers they observe (fabric,
+# consensus, resilience), while those layers import repro.obs for spans and
+# metrics — eager imports here would cycle. PEP 562 lazy attributes break
+# the loop: the submodules load on first attribute access, by which point
+# the lower layers are fully initialized.
+_LAZY_SUBMODULE = {
+    name: f"repro.obs.{mod}"
+    for mod, names in {
+        "alerts": (
+            "AlertEngine",
+            "AlertEvent",
+            "AlertRule",
+            "ChaosAlertProbe",
+            "EXPECTED_ALERTS",
+            "standard_rules",
+        ),
+        "explorer": ("AuditFinding", "AuditReport", "LedgerExplorer"),
+        "health": (
+            "ComponentHealth",
+            "HealthMonitor",
+            "HealthReport",
+            "HealthStatus",
+        ),
+    }.items()
+    for name in names
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_SUBMODULE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "AuditFinding",
+    "AuditReport",
+    "ChaosAlertProbe",
+    "ComponentHealth",
+    "EXPECTED_ALERTS",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthStatus",
+    "LedgerExplorer",
+    "standard_rules",
     "PipelineBreakdown",
     "StageTime",
     "pipeline_breakdown",

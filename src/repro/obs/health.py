@@ -1,0 +1,352 @@
+"""Component health checks + rolling-window SLIs → one typed HealthReport.
+
+"Is the system healthy right now?" PR 2's chaos faults and breaker trips
+were only visible by reading raw counters; this module turns a live
+:class:`~repro.core.framework.Framework` into an answer:
+
+* **Component checks** — fabric peers, the ordering service, the BFT
+  validator cluster, IPFS nodes, the DHT, and every circuit breaker, each
+  scored HEALTHY / DEGRADED / UNHEALTHY with a one-line reason.
+* **SLIs** — service-level indicators computed over a rolling window of
+  checks (not since process start): transaction failure rate, consensus
+  messages per transaction, consensus message-drop fraction, replication
+  health, plus commit-latency quantiles straight off the metrics
+  histograms when tracing is enabled.
+
+Every check exports ``health_status{component=...}`` gauges (0 healthy,
+1 degraded, 2 unhealthy) and ``sli{name=...}`` gauges into the metrics
+registry, so health rides the same Prometheus exposition as everything
+else. The alert engine (:mod:`repro.obs.alerts`) evaluates its rules over
+these reports.
+
+Determinism note: component statuses and the counter-derived SLIs depend
+only on system state, never on wall time — chaos scenarios assert on them
+under a fixed seed. Latency quantiles are wall-clock and are therefore
+excluded from alert fingerprints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.resilience.breaker import BreakerState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.framework import Framework
+    from repro.ipfs.replication import ReplicationManager
+
+
+class HealthStatus(int, Enum):
+    """Ordered severity; the report's overall status is the worst component."""
+
+    HEALTHY = 0
+    DEGRADED = 1
+    UNHEALTHY = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class ComponentHealth:
+    component: str
+    status: HealthStatus
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "status": self.status.label,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """One evaluation: every component's status plus the current SLIs."""
+
+    tick: int
+    components: list[ComponentHealth]
+    slis: dict[str, float]
+
+    @property
+    def status(self) -> HealthStatus:
+        return max((c.status for c in self.components), default=HealthStatus.HEALTHY)
+
+    @property
+    def healthy(self) -> bool:
+        return self.status is HealthStatus.HEALTHY
+
+    def component(self, name: str) -> ComponentHealth:
+        for c in self.components:
+            if c.component == name:
+                return c
+        raise KeyError(name)
+
+    def signal(self, signal: str) -> float | None:
+        """Resolve an alert-rule signal: ``component:<name>`` → status
+        ordinal, ``sli:<name>`` → value; ``None`` when there is no data."""
+        kind, _, name = signal.partition(":")
+        if kind == "component":
+            try:
+                return float(self.component(name).status.value)
+            except KeyError:
+                return None
+        if kind == "sli":
+            value = self.slis.get(name)
+            return None if value is None else float(value)
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "tick": self.tick,
+            "status": self.status.label,
+            "components": [c.to_dict() for c in self.components],
+            "slis": dict(sorted(self.slis.items())),
+        }
+
+    def render_lines(self) -> list[str]:
+        mark = {
+            HealthStatus.HEALTHY: "ok",
+            HealthStatus.DEGRADED: "DEGRADED",
+            HealthStatus.UNHEALTHY: "UNHEALTHY",
+        }
+        lines = [f"overall: {self.status.label.upper()}"]
+        for c in self.components:
+            lines.append(f"  {c.component:<22} {mark[c.status]:<10} {c.detail}")
+        for name, value in sorted(self.slis.items()):
+            lines.append(f"  sli {name:<24} {value:.4f}")
+        return lines
+
+
+@dataclass
+class _WindowedCounters:
+    """Per-tick deltas of cumulative counters over the last N checks."""
+
+    window: int
+    _last: dict[str, float] = field(default_factory=dict)
+    _deltas: deque = field(default_factory=deque)
+
+    def update(self, current: dict[str, float]) -> None:
+        delta = {
+            key: current[key] - self._last.get(key, 0.0) for key in current
+        }
+        self._last = dict(current)
+        self._deltas.append(delta)
+        while len(self._deltas) > self.window:
+            self._deltas.popleft()
+
+    def sum(self, key: str) -> float:
+        return sum(d.get(key, 0.0) for d in self._deltas)
+
+    def rate(self, numerator: str, denominator: str) -> float | None:
+        den = self.sum(denominator)
+        if den <= 0:
+            return None
+        return self.sum(numerator) / den
+
+
+class HealthMonitor:
+    """Evaluates a framework's health; call :meth:`check` once per tick."""
+
+    def __init__(
+        self,
+        framework: "Framework",
+        registry: MetricsRegistry | None = None,
+        replication: "ReplicationManager | None" = None,
+        window: int = 8,
+    ) -> None:
+        self.framework = framework
+        self.registry = registry or get_registry()
+        self.replication = replication
+        self.window = _WindowedCounters(window)
+        self.tick = 0
+
+    # -- the check ----------------------------------------------------------------
+
+    def check(self) -> HealthReport:
+        components = [
+            self._check_fabric_peers(),
+            self._check_orderer(),
+            self._check_validators(),
+            self._check_ipfs_nodes(),
+            self._check_dht(),
+            self._check_breakers(),
+        ]
+        self.window.update(self._raw_counters())
+        slis = self._slis()
+        report = HealthReport(tick=self.tick, components=components, slis=slis)
+        self.tick += 1
+        self._export(report)
+        return report
+
+    def _export(self, report: HealthReport) -> None:
+        for c in report.components:
+            self.registry.gauge(
+                "health_status", {"component": c.component}
+            ).set(c.status.value)
+        self.registry.gauge("health_overall").set(report.status.value)
+        for name, value in report.slis.items():
+            self.registry.gauge("sli", {"name": name}).set(value)
+
+    # -- components ---------------------------------------------------------------
+
+    def _check_fabric_peers(self) -> ComponentHealth:
+        channel = self.framework.channel
+        height = channel.height()
+        online = [p for p in channel.peers.values() if p.online]
+        lagging = [p.name for p in online if p.ledger.height < height]
+        offline = [p.name for p in channel.peers.values() if not p.online]
+        detail = f"{len(online)}/{len(channel.peers)} online, height {height}"
+        if not online:
+            return ComponentHealth("fabric.peers", HealthStatus.UNHEALTHY, "no online peer")
+        if offline or lagging:
+            if offline:
+                detail += f", offline: {','.join(sorted(offline))}"
+            if lagging:
+                detail += f", lagging: {','.join(sorted(lagging))}"
+            return ComponentHealth("fabric.peers", HealthStatus.DEGRADED, detail)
+        return ComponentHealth("fabric.peers", HealthStatus.HEALTHY, detail)
+
+    def _check_orderer(self) -> ComponentHealth:
+        orderer = self.framework.channel.orderer
+        cluster = getattr(orderer, "cluster", None)
+        if cluster is None:
+            return ComponentHealth(
+                "fabric.orderer", HealthStatus.HEALTHY, "solo ordering"
+            )
+        up = [n for n in cluster.replica_names if cluster.network.is_up(n)]
+        quorum = len(cluster.replica_names) - cluster.f
+        detail = f"bft, {len(up)}/{len(cluster.replica_names)} replicas up (quorum {quorum})"
+        if len(up) < quorum:
+            return ComponentHealth("fabric.orderer", HealthStatus.UNHEALTHY, detail)
+        return ComponentHealth("fabric.orderer", HealthStatus.HEALTHY, detail)
+
+    def _check_validators(self) -> ComponentHealth:
+        orderer = self.framework.channel.orderer
+        cluster = getattr(orderer, "cluster", None)
+        if cluster is None:
+            return ComponentHealth(
+                "consensus.validators", HealthStatus.HEALTHY, "no validator cluster"
+            )
+        names = cluster.replica_names
+        down = [n for n in names if not cluster.network.is_up(n)]
+        quorum = len(names) - cluster.f
+        detail = f"{len(names) - len(down)}/{len(names)} up"
+        if down:
+            detail += f", down: {','.join(sorted(down))}"
+        if len(names) - len(down) < quorum:
+            return ComponentHealth("consensus.validators", HealthStatus.UNHEALTHY, detail)
+        if down:
+            return ComponentHealth("consensus.validators", HealthStatus.DEGRADED, detail)
+        return ComponentHealth("consensus.validators", HealthStatus.HEALTHY, detail)
+
+    def _check_ipfs_nodes(self) -> ComponentHealth:
+        cluster = self.framework.ipfs
+        online = cluster.online_peer_ids()
+        total = len(cluster.nodes)
+        down = sorted(set(cluster.nodes) - set(online))
+        detail = f"{len(online)}/{total} nodes online"
+        if not online:
+            return ComponentHealth("ipfs.nodes", HealthStatus.UNHEALTHY, detail)
+        if down:
+            return ComponentHealth(
+                "ipfs.nodes", HealthStatus.DEGRADED, detail + f", down: {','.join(down)}"
+            )
+        return ComponentHealth("ipfs.nodes", HealthStatus.HEALTHY, detail)
+
+    def _check_dht(self) -> ComponentHealth:
+        cluster = self.framework.ipfs
+        registered = set(cluster.dht.nodes)
+        missing = sorted(set(cluster.nodes) - registered)
+        detail = f"{len(registered)} peers in routing tables"
+        if missing:
+            return ComponentHealth(
+                "ipfs.dht",
+                HealthStatus.DEGRADED,
+                detail + f", unregistered: {','.join(missing)}",
+            )
+        return ComponentHealth("ipfs.dht", HealthStatus.HEALTHY, detail)
+
+    def _check_breakers(self) -> ComponentHealth:
+        breakers = self.framework.resilience.breakers()
+        open_ = sorted(d for d, b in breakers.items() if b.state is BreakerState.OPEN)
+        half = sorted(
+            d for d, b in breakers.items() if b.state is BreakerState.HALF_OPEN
+        )
+        detail = f"{len(breakers)} breakers"
+        if open_:
+            return ComponentHealth(
+                "resilience.breakers",
+                HealthStatus.UNHEALTHY,
+                detail + f", open: {','.join(open_)}",
+            )
+        if half:
+            return ComponentHealth(
+                "resilience.breakers",
+                HealthStatus.DEGRADED,
+                detail + f", half-open: {','.join(half)}",
+            )
+        return ComponentHealth("resilience.breakers", HealthStatus.HEALTHY, detail)
+
+    # -- SLIs --------------------------------------------------------------------
+
+    def _raw_counters(self) -> dict[str, float]:
+        """The cumulative counters the windowed SLIs are deltas of."""
+        framework = self.framework
+        peer_valid = sum(p.stats.txs_valid for p in framework.channel.peers.values())
+        peer_invalid = sum(p.stats.txs_invalid for p in framework.channel.peers.values())
+        out = {
+            "txs_valid": float(peer_valid),
+            "txs_invalid": float(peer_invalid),
+            "txs_total": float(peer_valid + peer_invalid),
+            "invokes": float(framework.channel.stats.invokes),
+        }
+        cluster = getattr(framework.channel.orderer, "cluster", None)
+        if cluster is not None:
+            stats = cluster.network.stats
+            out["net_sent"] = float(stats.sent)
+            out["net_delivered"] = float(stats.delivered)
+            out["net_dropped"] = float(
+                stats.dropped_chaos + stats.dropped_rate + stats.dropped_partition
+            )
+        return out
+
+    def _slis(self) -> dict[str, float]:
+        slis: dict[str, float] = {}
+        rate = self.window.rate("txs_invalid", "txs_total")
+        if rate is not None:
+            slis["tx_failure_rate"] = rate
+        msgs = self.window.rate("net_delivered", "invokes")
+        if msgs is not None:
+            slis["consensus_msgs_per_tx"] = msgs
+        drops = self.window.rate("net_dropped", "net_sent")
+        if drops is not None:
+            slis["consensus_drop_fraction"] = drops
+        if self.replication is not None:
+            tracked = self.replication.tracked()
+            if tracked:
+                healthy = sum(
+                    1 for cid in tracked if self.replication.status(cid).healthy
+                )
+                slis["replication_health"] = healthy / len(tracked)
+        self._latency_slis(slis)
+        return slis
+
+    def _latency_slis(self, slis: dict[str, float]) -> None:
+        """Commit-latency quantiles off the span histograms (wall-clock —
+        present only when tracing feeds this registry; never alerted on
+        in deterministic scenarios)."""
+        family = self.registry._histograms.get("span_seconds")
+        if not family:
+            return
+        for labels, hist in family.items():
+            if dict(labels).get("name") == "fabric.invoke" and hist.n:
+                slis["commit_latency_p50"] = hist.quantile(0.5)
+                slis["commit_latency_p95"] = hist.quantile(0.95)
+                slis["commit_latency_p99"] = hist.quantile(0.99)

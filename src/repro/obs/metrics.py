@@ -95,6 +95,36 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Prometheus ``histogram_quantile`` semantics: linear interpolation
+        inside the bucket that contains the target rank (the first bucket
+        interpolates from 0). Observations that landed in the ``+Inf``
+        bucket clamp to the highest finite bound — a quantile can never be
+        reported beyond what the buckets can resolve.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError("quantile must be in [0, 1]")
+        if self.n == 0:
+            return 0.0
+        target = q * self.n
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= target:
+                if self.counts[i] == 0:
+                    return bound
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                return lower + (bound - lower) * ((target - previous) / self.counts[i])
+        return self.buckets[-1] if self.buckets else 0.0
+
+
+# The quantiles every histogram exposes in snapshots and exposition; p50,
+# p95 and p99 are what latency SLOs are stated in.
+EXPOSED_QUANTILES = (0.5, 0.95, 0.99)
+
 
 def _series_key(name: str, labels: LabelSet) -> str:
     return name + render_labels(labels)
@@ -167,6 +197,9 @@ class MetricsRegistry:
                     "mean": h.mean,
                     "sum": h.total,
                     "buckets": dict(zip(h.buckets, h.counts)),
+                    "p50": h.quantile(0.5),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
                 }
                 for name, family in sorted(self._histograms.items())
                 for ls, h in sorted(family.items())
@@ -201,6 +234,14 @@ class MetricsRegistry:
                 )
                 lines.append(f"{self.prefix}_{name}_sum{render_labels(ls)} {hist.total}")
                 lines.append(f"{self.prefix}_{name}_count{render_labels(ls)} {hist.n}")
+                # Summary-style quantile series so latency SLOs can be
+                # read straight off the exposition (bucket interpolation).
+                for q in EXPOSED_QUANTILES:
+                    lines.append(
+                        f"{self.prefix}_{name}"
+                        f"{render_labels(ls, (('quantile', str(q)),))} "
+                        f"{hist.quantile(q)}"
+                    )
         return "\n".join(lines) + "\n"
 
 

@@ -16,6 +16,7 @@ global read and one ``is None`` comparison, with no allocation (verified by
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Callable, Iterator
@@ -23,6 +24,12 @@ from typing import Any, Callable, Iterator
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span
 
 _current_span: ContextVar[Span | None] = ContextVar("repro_obs_current_span", default=None)
+
+# Default retention for the process-global tracer installed by
+# :func:`enable`: long-running workloads keep the most recent spans in a
+# bounded ring instead of growing without limit. Explicit ``Tracer(...)``
+# construction stays unbounded unless asked.
+DEFAULT_MAX_SPANS = 262_144
 
 # Default histogram buckets for span latencies (seconds): 100 µs .. 10 s.
 LATENCY_BUCKETS = (
@@ -37,16 +44,27 @@ class Tracer:
     ``registry`` (optional) unifies tracing with metrics: each finished
     span's duration is observed into a ``span_seconds{name=...}`` histogram
     and counted in ``spans_total{name=..., status=...}``.
+
+    ``max_spans`` (optional) bounds retention: the finished list becomes a
+    ring buffer that evicts the *oldest* span once full, counting each
+    eviction in :attr:`dropped` (and ``spans_dropped_total`` when a
+    registry is attached). Metrics still see every span — only the
+    retained-for-analysis window is bounded.
     """
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         registry=None,
+        max_spans: int | None = None,
     ) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ValueError("max_spans must be >= 1 (or None for unbounded)")
         self.clock = clock
         self.registry = registry
-        self.finished: list[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.finished: deque[Span] = deque(maxlen=max_spans)
 
     # -- span lifecycle ---------------------------------------------------------
 
@@ -69,6 +87,10 @@ class Tracer:
         if span._token is not None:
             _current_span.reset(span._token)
             span._token = None
+        if self.max_spans is not None and len(self.finished) == self.max_spans:
+            self.dropped += 1
+            if self.registry is not None:
+                self.registry.counter("spans_dropped_total").inc()
         self.finished.append(span)
         if self.registry is not None:
             self.registry.histogram(
@@ -156,9 +178,14 @@ def set_tracer(tracer: Tracer | None) -> None:
     _GLOBAL = tracer
 
 
-def enable(registry=None) -> Tracer:
-    """Install (and return) a fresh process-global tracer."""
-    tracer = Tracer(registry=registry)
+def enable(registry=None, max_spans: int | None = DEFAULT_MAX_SPANS) -> Tracer:
+    """Install (and return) a fresh process-global tracer.
+
+    Retention is bounded by default (:data:`DEFAULT_MAX_SPANS`, a ring
+    buffer of the most recent spans); pass ``max_spans=None`` to keep
+    everything, or a smaller bound for memory-constrained runs.
+    """
+    tracer = Tracer(registry=registry, max_spans=max_spans)
     set_tracer(tracer)
     return tracer
 
@@ -185,10 +212,10 @@ def current_span() -> Span | None:
 
 
 @contextmanager
-def enabled(registry=None) -> Iterator[Tracer]:
+def enabled(registry=None, max_spans: int | None = DEFAULT_MAX_SPANS) -> Iterator[Tracer]:
     """Scoped tracing: install a fresh tracer, restore the old one after."""
     previous = _GLOBAL
-    tracer = enable(registry=registry)
+    tracer = enable(registry=registry, max_spans=max_spans)
     try:
         yield tracer
     finally:

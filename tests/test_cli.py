@@ -133,3 +133,66 @@ class TestChaosCommand:
 
         with pytest.raises(ReproError):
             main(["chaos", "run", "definitely-not-a-scenario"])
+
+
+class TestExplorerCli:
+    def test_explorer_summary(self, capsys):
+        assert main(["explorer", "summary", "--videos", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "channel   : traffic" in out
+        assert "chaincodes:" in out
+
+    def test_explorer_blocks_and_provenance(self, capsys):
+        assert main(["explorer", "blocks", "--videos", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "data_upload.add_data(VALID)" in out
+        assert main(["explorer", "provenance", "--videos", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "captured@" in out and "stored@" in out
+
+    def test_explorer_audit_passes_on_clean_ledger(self, capsys):
+        assert main(["explorer", "audit", "--videos", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "audit      : PASS" in out
+
+    def test_explorer_trust_shows_score_timelines(self, capsys):
+        assert main(["explorer", "trust", "--videos", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cam-00" in out and "updates:" in out
+
+
+class TestHealthCli:
+    def test_health_clean_run_is_healthy(self, capsys):
+        assert main(["health", "--items", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: HEALTHY" in out
+        assert "fabric.peers" in out and "ipfs.nodes" in out
+
+    def test_health_json(self, capsys):
+        assert main(["health", "--items", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "healthy"
+        assert {c["component"] for c in payload["components"]} >= {
+            "fabric.peers", "ipfs.nodes", "resilience.breakers",
+        }
+
+
+class TestTopCli:
+    def test_top_plain_short_run(self, capsys):
+        assert main(["top", "--plain", "--cycles", "7", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle " in out
+        assert "alerts:" in out
+        assert "run complete:" in out
+
+
+class TestChaosAlertsCli:
+    def test_chaos_run_with_alert_gate(self, capsys):
+        assert main(["chaos", "run", "standard", "--alerts", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data_loss"] == 0
+        assert payload["alerts"]["ok"] is True
+        fired = {e["rule"] for e in payload["alerts"]["log"] if e["state"] == "firing"}
+        assert {"ipfs_node_down", "fabric_peer_down", "consensus_drop_storm"} <= fired
+        resolved = {e["rule"] for e in payload["alerts"]["log"] if e["state"] == "resolved"}
+        assert fired <= resolved

@@ -1,0 +1,216 @@
+"""Health checks, SLIs, and the alert engine — including the full
+fire→resolve lifecycle under the seeded standard chaos scenario."""
+
+import pytest
+
+from repro.chaos import get_scenario
+from repro.core import Client, Framework, FrameworkConfig
+from repro.errors import ObservabilityError
+from repro.obs.alerts import (
+    EXPECTED_ALERTS,
+    AlertEngine,
+    AlertRule,
+    ChaosAlertProbe,
+    standard_rules,
+)
+from repro.obs.health import HealthMonitor, HealthReport, HealthStatus
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.trust import SourceTier
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(MetricsRegistry())
+
+
+def make_framework(**overrides):
+    config = FrameworkConfig(
+        consensus="bft", peers_per_org=2, n_ipfs_nodes=3, **overrides
+    )
+    return Framework(config)
+
+
+class TestHealthMonitor:
+    def test_clean_deployment_is_healthy(self):
+        framework = make_framework()
+        client = Client(
+            framework, framework.register_source("hcam", tier=SourceTier.TRUSTED)
+        )
+        for i in range(3):
+            client.submit(b"x" * 256, {"timestamp": float(i), "detections": []})
+        report = HealthMonitor(framework, registry=MetricsRegistry()).check()
+        assert report.healthy
+        assert report.status is HealthStatus.HEALTHY
+        names = {c.component for c in report.components}
+        assert names == {
+            "fabric.peers",
+            "fabric.orderer",
+            "consensus.validators",
+            "ipfs.nodes",
+            "ipfs.dht",
+            "resilience.breakers",
+        }
+        assert report.slis["tx_failure_rate"] == 0.0
+        assert report.slis["consensus_msgs_per_tx"] > 0
+
+    def test_component_failures_degrade_the_report(self):
+        framework = make_framework()
+        monitor = HealthMonitor(framework, registry=MetricsRegistry())
+        framework.ipfs.crash_node("ipfs-1")
+        framework.channel.peers["peer0.org1"].online = False
+        report = monitor.check()
+        assert not report.healthy
+        assert report.component("ipfs.nodes").status is HealthStatus.DEGRADED
+        assert report.component("fabric.peers").status is HealthStatus.DEGRADED
+        assert "ipfs-1" in report.component("ipfs.nodes").detail
+        assert "peer0.org1" in report.component("fabric.peers").detail
+
+    def test_validator_quorum_loss_is_unhealthy(self):
+        framework = make_framework()
+        cluster = framework.channel.orderer.cluster
+        cluster.network.set_node_up("validator-2", False)
+        cluster.network.set_node_up("validator-3", False)
+        report = HealthMonitor(framework, registry=MetricsRegistry()).check()
+        validators = report.component("consensus.validators")
+        assert validators.status is HealthStatus.UNHEALTHY
+        assert report.status is HealthStatus.UNHEALTHY
+
+    def test_solo_deployment_reports_healthy_orderer(self):
+        framework = Framework(FrameworkConfig(consensus="solo"))
+        report = HealthMonitor(framework, registry=MetricsRegistry()).check()
+        assert report.component("fabric.orderer").status is HealthStatus.HEALTHY
+        assert "solo" in report.component("fabric.orderer").detail
+
+    def test_signal_resolution(self):
+        framework = make_framework()
+        report = HealthMonitor(framework, registry=MetricsRegistry()).check()
+        assert report.signal("component:ipfs.nodes") == 0.0
+        assert report.signal("component:nope") is None
+        assert report.signal("sli:tx_failure_rate") is not None
+        assert report.signal("sli:nope") is None
+        assert report.signal("garbage") is None
+
+    def test_health_gauges_exported(self):
+        framework = make_framework()
+        registry = MetricsRegistry()
+        HealthMonitor(framework, registry=registry).check()
+        text = registry.render()
+        assert 'health_status{component="ipfs.nodes"}' in text
+        assert 'sli{name="consensus_msgs_per_tx"}' in text
+        assert "repro_health_overall" in text
+
+
+class TestAlertEngine:
+    def _report(self, tick, value):
+        return HealthReport(
+            tick=tick, components=[], slis={"metric": value}
+        )
+
+    def _engine(self, for_ticks=1, op=">", threshold=0.5):
+        rule = AlertRule(
+            name="r", signal="sli:metric", op=op, threshold=threshold,
+            for_ticks=for_ticks, severity="critical",
+        )
+        return AlertEngine([rule], registry=MetricsRegistry())
+
+    def test_fire_and_resolve(self):
+        engine = self._engine()
+        assert engine.evaluate(self._report(0, 0.1)) == []
+        events = engine.evaluate(self._report(1, 0.9))
+        assert [e.state for e in events] == ["firing"]
+        assert engine.active() == ["r"]
+        events = engine.evaluate(self._report(2, 0.2))
+        assert [e.state for e in events] == ["resolved"]
+        assert engine.active() == []
+        assert engine.fired() == {"r"}
+
+    def test_for_ticks_debounces(self):
+        engine = self._engine(for_ticks=3)
+        engine.evaluate(self._report(0, 0.9))
+        engine.evaluate(self._report(1, 0.9))
+        assert engine.active() == []  # 2 consecutive < 3
+        engine.evaluate(self._report(2, 0.9))
+        assert engine.active() == ["r"]
+        # A single dip resets the streak and resolves.
+        engine.evaluate(self._report(3, 0.1))
+        assert engine.active() == []
+
+    def test_missing_signal_is_not_an_outage(self):
+        engine = self._engine()
+        events = engine.evaluate(HealthReport(tick=0, components=[], slis={}))
+        assert events == []
+        assert engine.active() == []
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlertRule(name="dup", signal="sli:x", op=">", threshold=0)
+        with pytest.raises(ObservabilityError):
+            AlertEngine([rule, rule], registry=MetricsRegistry())
+
+    def test_bad_rule_parameters_rejected(self):
+        with pytest.raises(ObservabilityError):
+            AlertRule(name="bad", signal="sli:x", op="~", threshold=0)
+        with pytest.raises(ObservabilityError):
+            AlertRule(name="bad", signal="sli:x", op=">", threshold=0, for_ticks=0)
+
+    def test_alert_gauges_exported(self):
+        registry = MetricsRegistry()
+        rule = AlertRule(
+            name="hot", signal="sli:metric", op=">", threshold=0.5,
+            severity="critical",
+        )
+        engine = AlertEngine([rule], registry=registry)
+        engine.evaluate(self._report(0, 0.9))
+        text = registry.render()
+        assert 'alert_state{name="hot"} 1' in text
+        assert 'alerts_firing{severity="critical"} 1' in text
+        assert 'alerts_fired_total{name="hot"} 1' in text
+
+
+class TestChaosAlertLifecycle:
+    """The acceptance contract: the standard scenario fires one alert per
+    injected fault class and resolves every one after heal, and the alert
+    log fingerprint is stable under a fixed seed."""
+
+    def _run(self, seed=0):
+        set_registry(MetricsRegistry())
+        probe = ChaosAlertProbe()
+        scenario = get_scenario("standard", seed=seed)
+        scenario.on_cycle = probe
+        report = scenario.run()
+        return report, probe
+
+    def test_expected_alerts_fire_and_all_resolve(self):
+        report, probe = self._run()
+        assert report.data_loss == 0
+        ok, problems = probe.verify("standard")
+        assert ok, problems
+        assert EXPECTED_ALERTS["standard"] <= probe.engine.fired()
+        assert probe.engine.active() == []
+        # The log records both halves of the lifecycle for every fired rule.
+        states = {}
+        for event in probe.engine.log:
+            states.setdefault(event.rule, []).append(event.state)
+        for rule, sequence in states.items():
+            assert sequence[0] == "firing"
+            assert sequence[-1] == "resolved", rule
+
+    def test_alert_fingerprint_is_deterministic(self):
+        _, first = self._run(seed=0)
+        _, second = self._run(seed=0)
+        assert first.engine.fingerprint() == second.engine.fingerprint()
+        assert [e.to_dict() for e in first.engine.log] == [
+            e.to_dict() for e in second.engine.log
+        ]
+
+    def test_standard_rules_reference_deterministic_signals_only(self):
+        # Latency SLIs are wall-clock; a rule over them would break the
+        # fingerprint contract. Keep the standard set off them.
+        for rule in standard_rules():
+            assert not rule.signal.startswith("sli:commit_latency"), rule.name
+
+    def test_probe_without_cycles_fails_verification(self):
+        probe = ChaosAlertProbe()
+        ok, problems = probe.verify("standard")
+        assert not ok and problems

@@ -107,3 +107,65 @@ class TestRegistryBehaviour:
         snap = json.loads(metrics_json(reg))
         assert snap["counters"]['ops{kind="read"}'] == 2
         assert snap["histograms"]["lat"]["n"] == 1
+
+
+class TestHistogramQuantiles:
+    def _hist(self, buckets=(1.0, 2.0, 4.0, 8.0)):
+        return Histogram(name="q", buckets=buckets)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert self._hist().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        hist = self._hist()
+        for q in (-0.1, 1.1):
+            with pytest.raises(ObservabilityError):
+                hist.quantile(q)
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = self._hist()
+        for v in (0.2, 0.9, 1.5, 3.0, 3.5, 7.0, 7.5):
+            hist.observe(v)
+        qs = [hist.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_overflow_clamps_to_highest_finite_bound(self):
+        hist = self._hist()
+        for v in (100.0, 200.0, 300.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 8.0
+        assert hist.quantile(0.99) == 8.0
+
+    def test_quantile_vs_brute_force_oracle(self):
+        """Bucket interpolation must land within one bucket width of the
+        exact percentile, for a few hundred deterministic samples."""
+        import math
+        import random
+
+        rng = random.Random(42)
+        buckets = tuple(0.25 * i for i in range(1, 41))  # 0.25 .. 10.0
+        hist = Histogram(name="oracle", buckets=buckets)
+        samples = [rng.uniform(0.0, 10.0) for _ in range(500)]
+        for v in samples:
+            hist.observe(v)
+        ordered = sorted(samples)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            exact = ordered[min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1)]
+            estimate = hist.quantile(q)
+            # The estimate can never be off by more than the width of the
+            # bucket the target rank falls in.
+            assert abs(estimate - exact) <= 0.25 + 1e-9, (q, estimate, exact)
+
+    def test_snapshot_and_exposition_carry_quantiles(self):
+        reg = MetricsRegistry(prefix="t")
+        hist = reg.histogram("lat_seconds", (0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(v)
+        snap = reg.snapshot()["histograms"]["lat_seconds"]
+        for key in ("p50", "p95", "p99"):
+            assert key in snap
+        assert snap["p50"] == hist.quantile(0.5)
+        text = reg.render()
+        assert 't_lat_seconds{quantile="0.5"}' in text
+        assert 't_lat_seconds{quantile="0.95"}' in text
+        assert 't_lat_seconds{quantile="0.99"}' in text

@@ -139,7 +139,7 @@ class TestQueries:
         with tracer.span("x"):
             pass
         tracer.clear()
-        assert tracer.finished == []
+        assert list(tracer.finished) == []
 
 
 class TestGlobalTracer:
@@ -175,3 +175,45 @@ class TestGlobalTracer:
         assert snap["counters"]['spans_total{name="measured",status="ok"}'] == 1
         assert snap["counters"]['spans_total{name="measured",status="error"}'] == 1
         assert snap["histograms"]['span_seconds{name="measured"}']["n"] == 2
+
+
+class TestRingBufferRetention:
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.finished) == 10
+        assert tracer.dropped == 0
+
+    def test_max_spans_bounds_retention_and_counts_drops(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(8):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.finished) == 3
+        assert [s.name for s in tracer.finished] == ["s5", "s6", "s7"]
+        assert tracer.dropped == 5
+
+    def test_dropped_spans_still_counted_in_metrics(self):
+        registry = obs.MetricsRegistry()
+        tracer = Tracer(registry=registry, max_spans=2)
+        for i in range(5):
+            with tracer.span("s"):
+                pass
+        snap = registry.snapshot()
+        assert snap["counters"]["spans_dropped_total"] == 3
+        # Metrics see every span — only retention is bounded.
+        assert snap["counters"]['spans_total{name="s",status="ok"}'] == 5
+
+    def test_invalid_max_spans_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_enable_installs_bounded_tracer_by_default(self):
+        from repro.obs.tracer import DEFAULT_MAX_SPANS
+
+        with enabled() as tracer:
+            assert tracer.max_spans == DEFAULT_MAX_SPANS
+        with enabled(max_spans=None) as tracer:
+            assert tracer.max_spans is None
