@@ -1,0 +1,63 @@
+"""repro.analysis — determinism linter + runtime sanitizers.
+
+Three cooperating layers keep the framework's trust story machine-checked:
+
+* :mod:`repro.analysis.linter` — ``reprolint``, an AST analyzer with
+  determinism rules for chaincode modules (DET1xx) and repo-wide
+  concurrency/error-handling hygiene rules (HYG2xx);
+* :mod:`repro.analysis.runtime` (+ :mod:`divergence`, :mod:`invariants`,
+  :mod:`lockcheck`) — sanitizers (SAN3xx/SAN4xx) toggled by
+  ``REPRO_SANITIZE``/``--sanitize`` that re-simulate endorsements, audit
+  ledger invariants at every commit, and detect lock-order inversions;
+* :mod:`repro.analysis.baseline` — the accepted-findings baseline the
+  ``lint-gate`` CI job diffs against.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and workflows.
+"""
+
+from .baseline import diff_baseline, load_baseline, write_baseline
+from .invariants import check_store
+from .linter import lint_file, lint_paths, lint_source
+from .lockcheck import (
+    GuardedShared,
+    LockRegistry,
+    TrackedLock,
+    guard_shared,
+    make_lock,
+)
+from .rules import RULES, Finding, Pragmas, Rule, get_rule, parse_pragmas
+from .runtime import (
+    Sanitizer,
+    SanitizerReport,
+    enabled_modes,
+    install_sanitizers,
+    last_report,
+    parse_modes,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "GuardedShared",
+    "LockRegistry",
+    "Pragmas",
+    "Rule",
+    "Sanitizer",
+    "SanitizerReport",
+    "TrackedLock",
+    "check_store",
+    "diff_baseline",
+    "enabled_modes",
+    "get_rule",
+    "guard_shared",
+    "install_sanitizers",
+    "last_report",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "make_lock",
+    "parse_modes",
+    "parse_pragmas",
+    "write_baseline",
+]

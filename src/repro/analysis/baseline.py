@@ -1,0 +1,63 @@
+"""Baseline workflow for the lint CI gate.
+
+A baseline is the set of findings a repository has *accepted* (grandfathered
+tech debt). The gate fails only on findings absent from the baseline, so new
+code is held to the rules while old findings can be burned down
+incrementally. The shipped baseline for this repo is empty — ``src/repro``
+lints clean — but the mechanism is what lets the gate be adopted on day one
+of any future rule without a flag day.
+
+Finding identity is ``(rule_id, path, message)`` — deliberately excluding
+line/column so unrelated edits above a grandfathered finding don't
+un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+from .rules import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Load accepted finding keys; a missing file means an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    try:
+        raw = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot read baseline {p}: {exc}") from exc
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise AnalysisError(f"baseline {p} is not a reprolint baseline file")
+    keys: set[tuple[str, str, str]] = set()
+    for entry in raw["findings"]:
+        keys.add((entry["rule_id"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Record the current findings as accepted (``repro lint --update-baseline``)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            (
+                {"rule_id": f.rule_id, "path": f.path, "message": f.message}
+                for f in findings
+            ),
+            key=lambda e: (e["path"], e["rule_id"], e["message"]),
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def diff_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by the baseline — what the CI gate fails on."""
+    return [f for f in findings if f.key() not in baseline]

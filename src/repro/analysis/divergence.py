@@ -1,0 +1,72 @@
+"""Endorsement-divergence sanitizer (SAN301).
+
+The linter catches the *spellable* determinism bugs; this catches the rest.
+After a peer endorses a proposal, the sanitizer re-simulates the same
+proposal on a second, fresh stub against the same world state and diffs the
+two outcomes. A deterministic chaincode must produce byte-identical
+read/write sets, the same response string, and the same success flag — any
+difference is nondeterminism that would (with one endorser per org) slip
+straight past :meth:`Channel.assemble`'s cross-endorser digest comparison
+and corrupt the ledger's trust story.
+
+Simulation never mutates the live state (writes buffer in the stub), so the
+re-run is side-effect-free and safe on a live peer.
+"""
+
+from __future__ import annotations
+
+from .rules import Finding
+
+
+def _rw_summary(rwset) -> str:
+    return (
+        f"{len(rwset.reads)} reads/{len(rwset.writes)} writes, "
+        f"digest {rwset.digest()[:16]}"
+    )
+
+
+def check_endorsement(peer, proposal, response) -> list[Finding]:
+    """Re-simulate *proposal* on *peer* and diff against *response*."""
+    rwset2, response2, success2 = peer.resimulate(proposal)
+    location = f"chaincode:{proposal.chaincode}"
+    findings: list[Finding] = []
+
+    if success2 != response.success:
+        findings.append(
+            Finding.for_rule(
+                "SAN301", location, 0, 0,
+                f"tx {proposal.tx_id[:16]} fn {proposal.fn!r} on {peer.name}: "
+                f"success flag diverged on re-simulation "
+                f"({response.success} vs {success2})",
+            )
+        )
+        return findings
+
+    if response.rwset.digest() != rwset2.digest():
+        first_w = {w.key: (w.value, w.is_delete) for w in response.rwset.writes}
+        second_w = {w.key: (w.value, w.is_delete) for w in rwset2.writes}
+        diverged = sorted(
+            set(first_w) ^ set(second_w)
+            | {k for k in set(first_w) & set(second_w) if first_w[k] != second_w[k]}
+        )
+        detail = f"diverging write keys: {diverged[:5]}" if diverged else (
+            "write sets identical; read sets diverged"
+        )
+        findings.append(
+            Finding.for_rule(
+                "SAN301", location, 0, 0,
+                f"tx {proposal.tx_id[:16]} fn {proposal.fn!r} on {peer.name}: "
+                f"rwset diverged on re-simulation "
+                f"({_rw_summary(response.rwset)} vs {_rw_summary(rwset2)}; {detail})",
+            )
+        )
+    elif response2 != response.response:
+        findings.append(
+            Finding.for_rule(
+                "SAN301", location, 0, 0,
+                f"tx {proposal.tx_id[:16]} fn {proposal.fn!r} on {peer.name}: "
+                f"response diverged on re-simulation "
+                f"({response.response[:60]!r} vs {response2[:60]!r})",
+            )
+        )
+    return findings

@@ -1,0 +1,269 @@
+"""Lock-order race detector (SAN401) and shared-write sanitizer (SAN402).
+
+:class:`TrackedLock` wraps a real ``threading.Lock``/``RLock`` and records,
+in a process-wide acquisition graph, every edge *held-lock → acquired-lock*.
+A cycle in that graph means two code paths take the same pair of locks in
+opposite orders — a deadlock that will strike under the right interleaving
+even if every test run happens to survive. Because edges persist after
+release, the detector catches the inversion even when the two paths never
+overlap in time: the ordering bug is structural, not probabilistic.
+
+:class:`GuardedShared` wraps a shared container and a guard lock; any
+mutating call made by a thread *not* holding the guard is reported as
+SAN402. This is the dynamic counterpart of the HYG204 lint rule, for
+structures whose sharing the linter cannot see (e.g. captures passed into
+``parallel_map`` workers).
+
+Both detectors *record* findings instead of raising, so a chaos scenario or
+test run completes and the sanitizer report lists every violation at once.
+``make_lock`` is the factory the rest of the codebase uses: it returns a
+plain ``threading.Lock`` unless a registry is active, so the instrumented
+path costs nothing when sanitizers are off.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from .rules import Finding
+
+_MUTATING_NAMES = frozenset({
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "extend", "remove", "discard", "insert", "sort",
+})
+
+
+def _call_site() -> tuple[str, int]:
+    """First stack frame outside this module — where the user code acted."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return ("<unknown>", 0)
+    return (frame.f_code.co_filename, frame.f_lineno)
+
+
+class LockRegistry:
+    """Acquisition graph + held-lock stacks shared by all tracked locks."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()  # raw on purpose: guards the detector itself
+        self._edges: dict[str, set[str]] = {}
+        self._edge_sites: dict[tuple[str, str], tuple[str, int]] = {}
+        self._held = threading.local()
+        self._findings: list[Finding] = []
+        self._reported_cycles: set[tuple[str, ...]] = set()
+
+    # -- held stacks -------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def holding(self, name: str) -> bool:
+        return name in self._stack()
+
+    # -- graph -------------------------------------------------------------
+
+    def on_acquire(self, name: str) -> None:
+        stack = self._stack()
+        site = _call_site()
+        with self._mutex:
+            for held in stack:
+                if held == name:
+                    continue  # re-entrant acquire of the same RLock
+                self._edges.setdefault(held, set()).add(name)
+                self._edge_sites.setdefault((held, name), site)
+                self._check_cycle(held, name)
+        stack.append(name)
+
+    def on_release(self, name: str) -> None:
+        stack = self._stack()
+        # Release in LIFO discipline is the common case, but don't require it.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+
+    def _check_cycle(self, src: str, dst: str) -> None:
+        """After adding src→dst, a dst⇒src path closes a cycle."""
+        path = self._find_path(dst, src)
+        if path is None:
+            return
+        cycle = tuple(sorted(set(path + [dst])))
+        if cycle in self._reported_cycles:
+            return
+        self._reported_cycles.add(cycle)
+        here = self._edge_sites.get((src, dst), ("<unknown>", 0))
+        other = self._edge_sites.get((path[0], path[1]) if len(path) > 1 else (dst, src),
+                                     ("<unknown>", 0))
+        self._findings.append(
+            Finding.for_rule(
+                "SAN401", here[0], here[1], 0,
+                f"lock-order cycle: {' -> '.join(path + [dst])} "
+                f"(opposite order seen at {other[0]}:{other[1]})",
+            )
+        )
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """BFS over the acquisition graph; returns start..goal inclusive."""
+        if start == goal:
+            return [start]
+        frontier = [[start]]
+        seen = {start}
+        while frontier:
+            path = frontier.pop(0)
+            for nxt in sorted(self._edges.get(path[-1], ())):
+                if nxt == goal:
+                    return path + [goal]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+    # -- shared-write checks ----------------------------------------------
+
+    def on_unguarded_write(self, shared_name: str, guard_name: str, op: str) -> None:
+        path, line = _call_site()
+        with self._mutex:
+            self._findings.append(
+                Finding.for_rule(
+                    "SAN402", path, line, 0,
+                    f"{op}() on shared {shared_name!r} without holding {guard_name!r}",
+                )
+            )
+
+    # -- results -----------------------------------------------------------
+
+    def findings(self) -> list[Finding]:
+        with self._mutex:
+            return list(self._findings)
+
+    def edges(self) -> dict[str, set[str]]:
+        with self._mutex:
+            return {k: set(v) for k, v in self._edges.items()}
+
+
+class TrackedLock:
+    """Drop-in ``Lock``/``RLock`` that reports acquisitions to a registry."""
+
+    def __init__(self, name: str, registry: LockRegistry, *, reentrant: bool = False) -> None:
+        self.name = name
+        self._registry = registry
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:  # reprolint: disable=HYG201
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._registry.on_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._registry.on_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        return self._registry.holding(self.name)
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+
+class GuardedShared:
+    """Proxy for a shared container whose mutations require a guard lock."""
+
+    def __init__(self, obj, guard: TrackedLock, name: str, registry: LockRegistry) -> None:
+        self._obj = obj
+        self._guard = guard
+        self._name = name
+        self._registry = registry
+
+    def _check(self, op: str) -> None:
+        if not self._guard.held_by_current_thread():
+            self._registry.on_unguarded_write(self._name, self._guard.name, op)
+
+    # Mutating dunders (dunder lookups bypass __getattr__).
+    def __setitem__(self, key, value) -> None:
+        self._check("__setitem__")
+        self._obj[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._check("__delitem__")
+        del self._obj[key]
+
+    # Read-only dunders.
+    def __getitem__(self, key):
+        return self._obj[key]
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    def __iter__(self):
+        return iter(self._obj)
+
+    def __contains__(self, item) -> bool:
+        return item in self._obj
+
+    def __getattr__(self, item):
+        attr = getattr(self._obj, item)
+        if item in _MUTATING_NAMES and callable(attr):
+            def checked(*args, **kwargs):
+                self._check(item)
+                return attr(*args, **kwargs)
+            return checked
+        return attr
+
+    def __repr__(self) -> str:
+        return f"GuardedShared({self._name!r}, {self._obj!r})"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide activation (used by the runtime sanitizer harness)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: LockRegistry | None = None
+
+
+def activate(registry: LockRegistry) -> None:
+    """Route subsequently created ``make_lock`` locks through *registry*."""
+    global _ACTIVE
+    _ACTIVE = registry
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_registry() -> LockRegistry | None:
+    return _ACTIVE
+
+
+def make_lock(name: str, *, reentrant: bool = False):
+    """Factory for locks that become tracked when a registry is active.
+
+    With no active registry this returns a plain ``threading`` lock, so
+    production paths pay nothing for the instrumentation hook.
+    """
+    if _ACTIVE is not None:
+        return TrackedLock(name, _ACTIVE, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+def guard_shared(obj, guard, name: str):
+    """Wrap *obj* so unguarded mutations are reported (no-op when inactive
+    or when *guard* is an uninstrumented plain lock)."""
+    if _ACTIVE is not None and isinstance(guard, TrackedLock):
+        return GuardedShared(obj, guard, name, _ACTIVE)
+    return obj

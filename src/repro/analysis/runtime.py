@@ -1,0 +1,232 @@
+"""Sanitizer harness: mode parsing, peer hooks, and the run report.
+
+Sanitizers are opt-in (they re-simulate every endorsement and re-audit the
+chain on every commit, so they cost real time) and are enabled per run with
+a mode spec — from the ``REPRO_SANITIZE`` environment variable, the
+``FrameworkConfig.sanitize`` field, or the ``--sanitize`` CLI flag::
+
+    REPRO_SANITIZE=all                 # every sanitizer
+    REPRO_SANITIZE=divergence,ledger   # just those two
+    repro chaos run standard --sanitize locks
+
+Modes: ``divergence`` (SAN301), ``ledger`` (SAN302–SAN305), ``locks``
+(SAN401/SAN402), ``consensus`` (SAN306).
+
+:func:`install_sanitizers` wires a :class:`Sanitizer` into a channel; the
+peers call back after each endorsement/commit. Findings accumulate instead
+of raising, so one run reports every violation; :meth:`Sanitizer.finalize`
+adds the end-of-run checks (consensus log consistency, lock-graph cycles)
+and publishes the :class:`SanitizerReport` for the CLI/CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+from . import divergence, invariants, lockcheck
+from .rules import Finding
+
+MODES = ("divergence", "ledger", "locks", "consensus")
+
+
+def parse_modes(spec: str) -> frozenset[str]:
+    """Parse a mode spec: empty/off → none; ``all``/``1``/``on`` → all."""
+    spec = (spec or "").strip().lower()
+    if spec in ("", "0", "off", "none"):
+        return frozenset()
+    if spec in ("1", "all", "on", "true"):
+        return frozenset(MODES)
+    modes = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    unknown = modes - frozenset(MODES)
+    if unknown:
+        raise AnalysisError(
+            f"unknown sanitizer mode(s) {sorted(unknown)}; valid: {', '.join(MODES)}"
+        )
+    return modes
+
+
+def enabled_modes(spec: str = "") -> frozenset[str]:
+    """Modes from an explicit spec plus the ``REPRO_SANITIZE`` environment."""
+    return parse_modes(spec) | parse_modes(os.environ.get("REPRO_SANITIZE", ""))
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitized run observed."""
+
+    modes: tuple[str, ...]
+    checks: dict[str, int]  # checks executed, per mode
+    findings: list[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "modes": list(self.modes),
+            "checks": dict(sorted(self.checks.items())),
+            "findings": [f.to_dict() for f in self.findings],
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sanitizers: {', '.join(self.modes) or '(none)'}",
+            "checks: "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(self.checks.items()))
+                or "none"
+            ),
+        ]
+        if self.findings:
+            lines.append(f"{len(self.findings)} finding(s):")
+            lines.extend("  " + f.render() for f in self.findings)
+        else:
+            lines.append("no findings")
+        return "\n".join(lines)
+
+
+class Sanitizer:
+    """Live checker attached to a channel's peers for one run."""
+
+    def __init__(self, modes: frozenset[str]) -> None:
+        self.modes = frozenset(modes)
+        self.channel = None
+        self.lock_registry = (
+            lockcheck.LockRegistry() if "locks" in self.modes else None
+        )
+        self._mutex = threading.Lock()
+        self._findings: list[Finding] = []
+        self._checks = {mode: 0 for mode in sorted(self.modes)}
+        self._expected_heights: dict[str, int] = {}
+        self._finalized = False
+
+    # -- hooks (called by Peer) -------------------------------------------
+
+    def check_endorsement(self, peer, proposal, response) -> None:
+        if "divergence" not in self.modes:
+            return
+        found = divergence.check_endorsement(peer, proposal, response)
+        with self._mutex:
+            self._checks["divergence"] += 1
+            self._findings.extend(found)
+
+    def check_commit(self, peer, block) -> None:
+        found: list[Finding] = []
+        if "ledger" in self.modes:
+            found.extend(invariants.check_block_commit(peer, block))
+            with self._mutex:
+                expected = self._expected_heights.get(peer.name)
+                if expected is not None and block.number != expected:
+                    found.append(
+                        Finding.for_rule(
+                            "SAN304", f"ledger:{peer.name}", block.number, 0,
+                            f"{peer.name} committed block {block.number} "
+                            f"where {expected} was expected next",
+                        )
+                    )
+                self._expected_heights[peer.name] = block.number + 1
+        with self._mutex:
+            if "ledger" in self.modes:
+                self._checks["ledger"] += 1
+            self._findings.extend(found)
+
+    # -- end of run --------------------------------------------------------
+
+    def _check_consensus(self) -> list[Finding]:
+        cluster = getattr(getattr(self.channel, "orderer", None), "cluster", None)
+        if cluster is None:
+            return []
+        with self._mutex:
+            self._checks["consensus"] += 1
+        if cluster.log_prefix_consistent():
+            return []
+        return [
+            Finding.for_rule(
+                "SAN306", "consensus", 0, 0,
+                "honest validators' decided logs are not prefix-consistent",
+            )
+        ]
+
+    def finalize(self) -> SanitizerReport:
+        """Run the end-of-run checks and publish the report (idempotent)."""
+        if not self._finalized:
+            extra: list[Finding] = []
+            if "consensus" in self.modes:
+                extra.extend(self._check_consensus())
+            if self.lock_registry is not None:
+                with self._mutex:
+                    self._checks["locks"] += 1
+                extra.extend(self.lock_registry.findings())
+                if lockcheck.active_registry() is self.lock_registry:
+                    lockcheck.deactivate()
+            with self._mutex:
+                self._findings.extend(extra)
+                self._finalized = True
+        report = self.report()
+        _publish(report)
+        return report
+
+    def report(self) -> SanitizerReport:
+        with self._mutex:
+            findings = list(self._findings)
+            checks = dict(self._checks)
+        if self.lock_registry is not None and not self._finalized:
+            findings.extend(self.lock_registry.findings())
+        return SanitizerReport(
+            modes=tuple(sorted(self.modes)),
+            checks=checks,
+            findings=findings,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Installation + last-report plumbing
+# ---------------------------------------------------------------------------
+
+_LAST_REPORT: SanitizerReport | None = None
+_ACTIVE: Sanitizer | None = None
+
+
+def _publish(report: SanitizerReport) -> None:
+    global _LAST_REPORT
+    _LAST_REPORT = report
+
+
+def last_report() -> SanitizerReport | None:
+    """The report of the most recently finalized sanitized run, if any.
+
+    This is how the CLI reaches the sanitizer of a Framework built deep
+    inside a chaos scenario it never held a reference to.
+    """
+    return _LAST_REPORT
+
+
+def active_sanitizer() -> Sanitizer | None:
+    return _ACTIVE
+
+
+def install_sanitizers(channel, spec: str = "") -> Sanitizer | None:
+    """Attach sanitizers to *channel* per the combined mode spec.
+
+    Returns the installed :class:`Sanitizer`, or ``None`` when no mode is
+    enabled (the common case: zero overhead, nothing attached).
+    """
+    global _ACTIVE
+    modes = enabled_modes(spec)
+    if not modes:
+        return None
+    sanitizer = Sanitizer(modes)
+    sanitizer.channel = channel
+    channel.sanitizer = sanitizer
+    for peer in channel.peers.values():
+        peer.sanitizer = sanitizer
+    if sanitizer.lock_registry is not None:
+        lockcheck.activate(sanitizer.lock_registry)
+    _ACTIVE = sanitizer
+    return sanitizer

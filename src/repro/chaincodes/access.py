@@ -18,6 +18,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 _ACL_PREFIX = "acl:"
@@ -60,7 +61,7 @@ class AccessControlChaincode(Chaincode):
             "updated_at": isoformat(stub.get_timestamp()),
             "updated_by": stub.get_creator().name,
         }
-        stub.put_state(self._key(entry_id), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._key(entry_id), canonical_json(record))
         stub.set_event("AclUpdated", {"entry_id": entry_id, "allowed_orgs": record["allowed_orgs"]})
         return record
 
@@ -90,7 +91,7 @@ class AccessControlChaincode(Chaincode):
             "at": isoformat(stub.get_timestamp()),
         }
         key = stub.create_composite_key(IDX_ACCESS_LOG, [entry_id, stub.get_tx_id()])
-        stub.put_state(key, json.dumps(entry, sort_keys=True).encode())
+        stub.put_state(key, canonical_json(entry))
         return entry
 
     def access_log(self, stub: ChaincodeStub, entry_id: str):

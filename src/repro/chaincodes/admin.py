@@ -19,6 +19,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 _ADMIN_PREFIX = "admin:"
@@ -47,7 +48,7 @@ class AdminEnrollmentChaincode(Chaincode):
             "created_at": isoformat(stub.get_timestamp()),
             "enrolled_by": stub.get_creator().name,
         }
-        stub.put_state(self._key(admin_id), json.dumps(admin, sort_keys=True).encode())
+        stub.put_state(self._key(admin_id), canonical_json(admin))
         stub.set_event("AdminEnrolled", {"admin_id": admin_id})
         return f"Admin {admin_id} enrolled successfully"
 

@@ -19,6 +19,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 _DATA_PREFIX = "data:"
@@ -74,7 +75,7 @@ class DataUploadChaincode(Chaincode):
             "uploader": stub.get_creator().name,
             "uploader_org": stub.get_creator().org,
         }
-        stub.put_state(key, json.dumps(record, sort_keys=True).encode())
+        stub.put_state(key, canonical_json(record))
         self._index(stub, entry_id, record)
         stub.set_event(
             "DataStored",

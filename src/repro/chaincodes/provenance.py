@@ -17,6 +17,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 IDX_PROV = "prov"
@@ -30,9 +31,7 @@ STANDARD_ACTIONS = ("captured", "validated", "stored", "accessed", "flagged")
 
 def _entry_hash(entry: dict) -> str:
     hashable = {k: v for k, v in entry.items() if k != "entry_hash"}
-    return hashlib.sha256(
-        json.dumps(hashable, sort_keys=True, separators=(",", ":")).encode()
-    ).hexdigest()
+    return hashlib.sha256(canonical_json(hashable)).hexdigest()
 
 
 class ProvenanceChaincode(Chaincode):
@@ -75,10 +74,12 @@ class ProvenanceChaincode(Chaincode):
         }
         entry["entry_hash"] = _entry_hash(entry)
         key = stub.create_composite_key(IDX_PROV, [entry_id, f"{seq:08d}"])
-        stub.put_state(key, json.dumps(entry, sort_keys=True).encode())
+        stub.put_state(key, canonical_json(entry))
         stub.put_state(
             self._head_key(entry_id),
-            json.dumps({"seq": seq, "entry_hash": entry["entry_hash"]}).encode(),
+            # Canonical: the head record is re-read and re-hashed on every
+            # append, so its bytes must not depend on dict order.
+            canonical_json({"seq": seq, "entry_hash": entry["entry_hash"]}),
         )
         stub.set_event("ProvenanceRecorded", {"entry_id": entry_id, "action": action})
         return {"seq": seq, "entry_hash": entry["entry_hash"]}

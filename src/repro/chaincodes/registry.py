@@ -14,6 +14,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 _USER_PREFIX = "user:"
@@ -53,7 +54,7 @@ class UserRegistrationChaincode(Chaincode):
             "registered_by": stub.get_creator().name,
             "active": True,
         }
-        stub.put_state(self._key(user_id), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._key(user_id), canonical_json(record))
         stub.set_event("UserRegistered", {"user_id": user_id, "tier": tier})
         return record
 
@@ -69,7 +70,7 @@ class UserRegistrationChaincode(Chaincode):
     def deactivate_user(self, stub: ChaincodeStub, user_id: str):
         record = self.get_user(stub, user_id)
         record["active"] = False
-        stub.put_state(self._key(user_id), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._key(user_id), canonical_json(record))
         stub.set_event("UserDeactivated", {"user_id": user_id})
         return record
 

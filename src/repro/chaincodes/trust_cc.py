@@ -13,6 +13,7 @@ import json
 
 from repro.errors import ChaincodeError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.util.serialization import canonical_json
 from repro.util.clock import isoformat
 
 _SCORE_PREFIX = "trust:"
@@ -45,7 +46,7 @@ class TrustScoreChaincode(Chaincode):
         record = dict(record)
         record["source_id"] = source_id
         record["updated_at"] = isoformat(stub.get_timestamp())
-        stub.put_state(self._score_key(source_id), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._score_key(source_id), canonical_json(record))
         stub.set_event("TrustScoreUpdated", {"source_id": source_id, "score": score})
         return record
 
@@ -76,7 +77,7 @@ class TrustScoreChaincode(Chaincode):
         record["flags"] += 1
         record["last_reason"] = reason
         record["flagged_at"] = isoformat(stub.get_timestamp())
-        stub.put_state(self._validator_key(name), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._validator_key(name), canonical_json(record))
         stub.set_event("ValidatorFlagged", {"name": name, "flags": record["flags"]})
         return record
 
@@ -86,7 +87,7 @@ class TrustScoreChaincode(Chaincode):
         record["removed"] = True
         record["removal_reason"] = reason
         record["removed_at"] = isoformat(stub.get_timestamp())
-        stub.put_state(self._validator_key(name), json.dumps(record, sort_keys=True).encode())
+        stub.put_state(self._validator_key(name), canonical_json(record))
         stub.set_event("ValidatorRemoved", {"name": name})
         return record
 

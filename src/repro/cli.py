@@ -8,6 +8,8 @@ every invocation stands up a fresh network — there is no daemon):
 * ``figure {2,3,4,5,6}``   — regenerate one of the paper's evaluation figures
 * ``query "<text>"``       — run a query against a freshly populated demo set
 * ``chaos``                — run a seeded fault-injection scenario (``chaos list`` to enumerate)
+* ``lint``                 — run the reprolint static analyzer (determinism + hygiene rules)
+* ``sanitize-run``         — run a chaos scenario with the runtime sanitizers enabled
 * ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
 * ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
 * ``explorer``             — browse the ledger: blocks, txs, provenance, trust, audit
@@ -90,7 +92,35 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument("--alerts", action="store_true",
                            help="evaluate the standard alert rules every cycle and "
                                 "verify the expected fire→resolve lifecycle (CI health gate)")
+    chaos_run.add_argument("--sanitize", default="", metavar="MODES",
+                           help="enable runtime sanitizers for the run: 'all' or a comma "
+                                "list of divergence,ledger,locks,consensus")
     chaos_sub.add_parser("list", help="list available scenarios")
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint (determinism + hygiene rules) over source paths"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--baseline", default=".reprolint-baseline.json",
+                      help="accepted-findings baseline file (missing = empty)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="accept all current findings into the baseline and exit 0")
+
+    sanitize = sub.add_parser(
+        "sanitize-run",
+        help="run a chaos scenario with the runtime sanitizers on and report findings",
+    )
+    sanitize.add_argument("scenario", nargs="?", default="standard",
+                          help="scenario name (see `repro chaos list`)")
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument("--cycles", type=int, default=None,
+                          help="override the scenario's cycle count")
+    sanitize.add_argument("--sanitize", default="all", metavar="MODES",
+                          help="modes to enable (default: all)")
+    sanitize.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the combined summary as JSON (for CI)")
 
     explorer = sub.add_parser(
         "explorer", help="browse a demo ledger: blocks, txs, provenance, trust, audit"
@@ -348,12 +378,34 @@ def _cmd_chaos(args) -> int:
     registry = MetricsRegistry()
     set_registry(registry)
     scenario = get_scenario(args.scenario, seed=args.seed, n_cycles=args.cycles)
+    sanitize_spec = getattr(args, "sanitize", "")
+    if sanitize_spec:
+        import dataclasses
+
+        from repro.analysis.runtime import parse_modes
+        from repro.errors import AnalysisError
+
+        try:
+            parse_modes(sanitize_spec)  # fail fast on a bad spec
+        except AnalysisError as exc:
+            print(f"repro chaos: {exc}", file=sys.stderr)
+            return 2
+        scenario.config = dataclasses.replace(scenario.config, sanitize=sanitize_spec)
     probe = None
     if args.alerts:
         probe = ChaosAlertProbe(registry=registry)
         scenario.on_cycle = probe
     report = scenario.run()
     summary = report.summary()
+    sanitize_ok = True
+    if sanitize_spec:
+        from repro.analysis.runtime import active_sanitizer
+
+        sanitizer = active_sanitizer()
+        if sanitizer is not None:
+            san_report = sanitizer.finalize()
+            sanitize_ok = san_report.ok
+            summary["sanitizers"] = san_report.to_dict()
     alerts_ok = True
     if probe is not None:
         alerts_ok, problems = probe.verify(args.scenario)
@@ -386,12 +438,88 @@ def _cmd_chaos(args) -> int:
             print(f"alert check: {'PASS' if alerts_ok else 'FAIL'}")
             for problem in summary["alerts"]["problems"]:
                 print(f"  !! {problem}")
+        if "sanitizers" in summary:
+            print(f"sanitizers : {'PASS' if sanitize_ok else 'FAIL'} "
+                  f"({', '.join(summary['sanitizers']['modes'])})")
+            for f in summary["sanitizers"]["findings"]:
+                print(f"  !! {f['rule_id']} {f['path']}:{f['line']}: {f['message']}")
     if args.metrics:
         from repro.obs import render_prometheus
 
         print()
         print(render_prometheus(registry), end="")
-    return 0 if report.data_loss == 0 and alerts_ok else 1
+    return 0 if report.data_loss == 0 and alerts_ok and sanitize_ok else 1
+
+
+def _cmd_lint(args) -> int:
+    """Exit codes are pre-commit-friendly: 0 clean (or fully baselined),
+    1 new findings, 2 usage error (bad path / baseline / rule id)."""
+    from repro.analysis.baseline import diff_baseline, load_baseline, write_baseline
+    from repro.analysis.linter import lint_paths
+    from repro.errors import AnalysisError
+
+    try:
+        findings = lint_paths(args.paths)
+        accepted = load_baseline(args.baseline)
+    except AnalysisError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+    new = diff_baseline(findings, accepted)
+    baselined = len(findings) - len(new)
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "paths": list(args.paths),
+                "findings": [f.to_dict() for f in new],
+                "baselined": baselined,
+                "ok": not new,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for finding in new:
+            print(finding.render())
+        print(f"reprolint: {len(new)} new finding(s), {baselined} baselined")
+    return 1 if new else 0
+
+
+def _cmd_sanitize_run(args) -> int:
+    import dataclasses
+
+    from repro.analysis.runtime import active_sanitizer, parse_modes
+    from repro.chaos import get_scenario
+    from repro.errors import AnalysisError
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    try:
+        parse_modes(args.sanitize)
+    except AnalysisError as exc:
+        print(f"repro sanitize-run: {exc}", file=sys.stderr)
+        return 2
+    set_registry(MetricsRegistry())
+    scenario = get_scenario(args.scenario, seed=args.seed, n_cycles=args.cycles)
+    scenario.config = dataclasses.replace(scenario.config, sanitize=args.sanitize)
+    report = scenario.run()
+    sanitizer = active_sanitizer()
+    san_report = sanitizer.finalize() if sanitizer is not None else None
+    if args.as_json:
+        summary = report.summary()
+        summary["sanitizers"] = san_report.to_dict() if san_report else None
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"scenario   : {args.scenario} (seed {args.seed}), "
+              f"data loss {report.data_loss}")
+        if san_report is not None:
+            for line in san_report.render().splitlines():
+                print(line)
+        else:
+            print("sanitizers : none enabled")
+    ok = report.data_loss == 0 and (san_report is None or san_report.ok)
+    return 0 if ok else 1
 
 
 def _cmd_explorer(args) -> int:
@@ -583,6 +711,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sanitize-run":
+        return _cmd_sanitize_run(args)
     if args.command == "explorer":
         return _cmd_explorer(args)
     if args.command == "health":

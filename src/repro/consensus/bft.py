@@ -20,7 +20,12 @@ bound to show where agreement degrades.
 
 A lightweight view-change fires when a replica's commit timer expires:
 replicas vote for view v+1, and on 2f+1 votes the new primary re-proposes
-pending requests. Repeatedly-misbehaving replicas can be reported to a
+pending requests. Two safety rules carry PBFT's cross-view agreement
+guarantee without shipping full prepared certificates: an honest replica
+never prepares two different digests at one sequence number (even across
+views), and view-change votes report the sender's highest prepared seq so
+the new primary proposes strictly past every slot the quorum may have
+decided. Repeatedly-misbehaving replicas can be reported to a
 :class:`repro.trust.ValidatorPool` by the caller via per-decision vote data.
 """
 
@@ -118,6 +123,12 @@ class BftReplica(NetNode):
         self._next_seq = 0  # primary-only counter
         self._assigned: set[str] = set()  # request ids this primary proposed
         self._decided_seqs: set[int] = set()
+        # seq -> digest this replica has *prepared* (sent COMMIT for). An
+        # honest replica never prepares two different digests at one seq —
+        # even across views — which is what makes conflicting decisions at
+        # the same slot impossible with at most f faults (see
+        # _on_pre_prepare's guard).
+        self._prepared_digest: dict[int, str] = {}
         self._view_votes: dict[int, dict[str, ViewChange]] = {}
         self._pending_timeouts: dict[str, bool] = {}
         self._rearms: dict[str, int] = {}  # view changes triggered per request
@@ -259,6 +270,14 @@ class BftReplica(NetNode):
     def _on_pre_prepare(self, msg: PrePrepare) -> None:
         if msg.view != self.view:
             return
+        # Cross-view safety guard: once prepared at this seq, never help a
+        # later view's primary order a *different* request there. A decision
+        # needs 2f+1 commits (>= f+1 honest preparers); two conflicting
+        # decisions would need an honest replica to prepare both digests at
+        # one seq, which this refusal rules out.
+        prior = self._prepared_digest.get(msg.seq)
+        if prior is not None and prior != msg.digest:
+            return
         slot = self._slot(msg.view, msg.seq)
         if slot.pre_prepare is not None and slot.pre_prepare.digest != msg.digest:
             return  # equivocation detected: keep the first, ignore the fork
@@ -319,6 +338,7 @@ class BftReplica(NetNode):
         # Prepared: pre-prepare + 2f prepares matching the digest (own included).
         if not slot.sent_commit and len(matching_prepares) >= 2 * self.f + 1:
             slot.sent_commit = True
+            self._prepared_digest.setdefault(seq, digest)
             n_items = max(1, slot.pre_prepare.request.n_items)
             verdict = slot.my_verdict if slot.my_verdict is not None else (False,) * n_items
             self._cast(
@@ -430,15 +450,29 @@ class BftReplica(NetNode):
         self.stable_checkpoint = max(self.stable_checkpoint, seq)
         for key in [k for k in self._slots if k[1] <= seq]:
             del self._slots[key]
+        for prepared_seq in [s for s in self._prepared_digest if s <= seq]:
+            del self._prepared_digest[prepared_seq]
         for key in [k for k in self._checkpoint_votes if k[0] <= seq]:
             del self._checkpoint_votes[key]
 
     # -- view change -------------------------------------------------------------
 
+    def _max_prepared_seq(self) -> int:
+        """Highest seq this replica prepared (a stable checkpoint implies
+        everything at or below it was decided, hence prepared)."""
+        return max(max(self._prepared_digest, default=-1), self.stable_checkpoint)
+
     def _start_view_change(self, new_view: int, pending: tuple[ClientRequest, ...] = ()) -> None:
         if new_view <= self.view:
             return
-        self._cast(ViewChange(new_view=new_view, replica=self.name, pending=pending))
+        self._cast(
+            ViewChange(
+                new_view=new_view,
+                replica=self.name,
+                pending=pending,
+                max_seq=self._max_prepared_seq(),
+            )
+        )
 
     def _on_view_change(self, msg: ViewChange) -> None:
         if msg.new_view <= self.view:
@@ -451,11 +485,25 @@ class BftReplica(NetNode):
             # change so desynced views reconverge under message loss. The
             # loopback of our own vote re-enters this handler and runs the
             # quorum check below with the updated vote set.
-            self._cast(ViewChange(new_view=msg.new_view, replica=self.name, pending=()))
+            self._cast(
+                ViewChange(
+                    new_view=msg.new_view,
+                    replica=self.name,
+                    pending=(),
+                    max_seq=self._max_prepared_seq(),
+                )
+            )
             return
         if len(votes) >= self._quorum():
             self._enter_view(msg.new_view)
             if self.is_primary():
+                # Continue past every slot the quorum may have decided: any
+                # decided seq was prepared by >= f+1 honest replicas, and a
+                # 2f+1 vote quorum intersects them — so the reported
+                # max_seq frontier covers it and re-proposals land on fresh
+                # sequence numbers instead of colliding with old decisions.
+                safe_seq = max(vc.max_seq for vc in votes.values())
+                self._next_seq = max(self._next_seq, safe_seq + 1)
                 self._cast(NewView(new_view=self.view, primary=self.name))
                 # Re-propose every pending request reported by the quorum.
                 seen: set[str] = set()
@@ -587,6 +635,23 @@ class BftCluster:
             raise ConsensusError("no honest replica available")
         best = max(normals, key=lambda r: len(r.log))
         return sorted(best.log, key=lambda d: d.seq)
+
+    def log_prefix_consistent(self) -> bool:
+        """PBFT's safety property, checked directly: no two live honest
+        NORMAL replicas may have decided the same sequence number
+        differently — different request, or different verdicts. A replica
+        can legitimately be *missing* a seq (it was down or partitioned
+        when that slot decided), so logs are compared per shared seq, not
+        positionally. Used by the consensus sanitizer (SAN306)."""
+        by_seq: dict[int, tuple] = {}
+        for replica in self.replicas.values():
+            if replica.behaviour is not Behaviour.NORMAL or not self.network.is_up(replica.name):
+                continue
+            for d in replica.log:
+                key = (d.request.request_id, d.accepted, d.item_accepted)
+                if by_seq.setdefault(d.seq, key) != key:
+                    return False
+        return True
 
     def agreement_reached(self, request_id: str) -> bool:
         """Did every live honest replica decide this request identically?"""

@@ -89,6 +89,13 @@ class ViewChange:
     # Requests the replica saw pre-prepared but not yet committed; the new
     # primary re-proposes them so nothing accepted is lost.
     pending: tuple[ClientRequest, ...] = field(default_factory=tuple)
+    # Highest sequence number this replica has *prepared* (sent a COMMIT
+    # for). Any decided seq has 2f+1 commits, so at least f+1 honest
+    # replicas prepared it — every view-change quorum therefore contains a
+    # replica reporting max_seq at or above every decided slot, and the new
+    # primary proposes strictly past it (the seq part of PBFT's new-view
+    # computation, without shipping full prepared certificates).
+    max_seq: int = -1
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,10 @@ class FrameworkConfig:
     breaker_failure_threshold: int = 8
     breaker_cooldown_s: float = 0.25
     resilience_seed: int = 0
+    # Runtime sanitizer modes (repro.analysis): "" disables, "all" enables
+    # everything, or a comma list of divergence/ledger/locks/consensus.
+    # Combined with the REPRO_SANITIZE environment variable at build time.
+    sanitize: str = ""
 
 
 class Framework:
@@ -73,6 +77,10 @@ class Framework:
         self.config = config or FrameworkConfig()
         cfg = self.config
         self.fabric = FabricNetwork()
+        # Sanitizers must attach before any invoke (the admin enrollment
+        # below is already a checked endorsement+commit when enabled).
+        from repro.analysis.runtime import install_sanitizers
+
         self.channel: Channel = self.fabric.create_channel(
             cfg.channel_name,
             orgs=list(cfg.orgs),
@@ -81,6 +89,7 @@ class Framework:
             max_batch_size=cfg.max_batch_size,
             n_validators=cfg.n_validators,
         )
+        self.sanitizer = install_sanitizers(self.channel, spec=cfg.sanitize)
         for chaincode in (
             AdminEnrollmentChaincode(),
             UserRegistrationChaincode(),

@@ -247,3 +247,13 @@ class QueryParseError(QueryError):
 
 class IntegrityError(QueryError):
     """Retrieved off-chain data does not match its on-chain hash/CID."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis / sanitizers
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Invalid use of the analysis tooling (unknown rule id, bad sanitizer
+    mode spec, unreadable lint target)."""

@@ -13,11 +13,10 @@ checks at commit.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ChaincodeError, ChaincodeNotFoundError
+from repro.errors import ChaincodeError, ChaincodeNotFoundError, EncodingError
 from repro.fabric.identity import IdentityInfo
 from repro.fabric.privatedata import (
     CollectionRegistry,
@@ -32,6 +31,7 @@ from repro.fabric.worldstate import (
     make_composite_key,
     split_composite_key,
 )
+from repro.util.serialization import canonical_json
 
 
 class ChaincodeStub:
@@ -259,7 +259,14 @@ class Chaincode:
         except TypeError as exc:
             # Wrong arity is an application error, not a framework crash.
             raise ChaincodeError(f"bad arguments for {self.name}.{fn}: {exc}") from exc
-        return json.dumps(result, sort_keys=True)
+        # Canonical rendering: the response string is part of what every
+        # endorser signs, so it must be byte-identical across endorsers.
+        try:
+            return canonical_json(result).decode("utf-8")
+        except EncodingError as exc:
+            raise ChaincodeError(
+                f"{self.name}.{fn} returned a non-canonical value: {exc}"
+            ) from exc
 
 
 @dataclass

@@ -90,6 +90,8 @@ class Channel:
         self.events = EventHub()
         self.stats = ChannelStats()
         self.rejected_by_block: dict[int, frozenset[str]] = {}
+        # Runtime sanitizer (repro.analysis); propagated to joining peers.
+        self.sanitizer = None
         self._definitions: list[ChaincodeDefinition] = []
         self._results: dict[str, TxResult] = {}
         self._nonce = itertools.count()
@@ -101,6 +103,8 @@ class Channel:
         if peer.name in self.peers:
             raise FabricError(f"peer {peer.name!r} already joined channel {self.name!r}")
         self.peers[peer.name] = peer
+        if self.sanitizer is not None:
+            peer.sanitizer = self.sanitizer
         for definition in self._definitions:
             peer.install_chaincode(definition)
 

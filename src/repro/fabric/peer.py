@@ -90,6 +90,9 @@ class Peer:
         self.private = PrivateStateStore(org=identity.org, registry=self.collections)
         self.online = True
         self.stats = PeerStats()
+        # Runtime sanitizer hook (repro.analysis.runtime.Sanitizer); None in
+        # normal operation — set by install_sanitizers for checked runs.
+        self.sanitizer = None
 
     @property
     def org(self) -> str:
@@ -129,7 +132,10 @@ class Peer:
         with obs_span("fabric.peer.endorse") as sp:
             sp.set_attr("peer", self.name)
             sp.set_attr("chaincode", proposal.chaincode)
-            return self._endorse_inner(proposal)
+            response = self._endorse_inner(proposal)
+            if self.sanitizer is not None:
+                self.sanitizer.check_endorsement(self, proposal, response)
+            return response
 
     def _endorse_inner(self, proposal: TxProposal) -> ProposalResponse:
         if not self.online:
@@ -166,6 +172,23 @@ class Peer:
             events=stub.events(),
             private_data=stub.private_writes(),
         )
+
+    def resimulate(self, proposal: TxProposal) -> tuple:
+        """Re-run a proposal's simulation on a fresh stub — no signing, no
+        stats. Simulation buffers all writes in the stub, so this is
+        side-effect-free; the divergence sanitizer diffs the outcome
+        against the original endorsement to expose nondeterminism a
+        single-endorser policy would never surface."""
+        definition = self.chaincodes.get(proposal.chaincode)
+        stub = self._make_stub(proposal, proposal.chaincode)
+        try:
+            response = definition.chaincode.dispatch(
+                stub, proposal.fn, list(proposal.args)
+            )
+            success = True
+        except ChaincodeError:
+            response, success = json.dumps(None), False
+        return stub.rwset(), response, success
 
     # ------------------------------------------------------------------
     # Validation + commit
@@ -221,7 +244,10 @@ class Peer:
         with obs_span("fabric.peer.commit") as sp:
             sp.set_attr("peer", self.name)
             sp.set_attr("block", block.number)
-            return self._commit_block_inner(block, consensus_rejected)
+            annotated = self._commit_block_inner(block, consensus_rejected)
+            if self.sanitizer is not None:
+                self.sanitizer.check_commit(self, annotated)
+            return annotated
 
     def _commit_block_inner(
         self, block: Block, consensus_rejected: frozenset[str] = frozenset()

@@ -18,6 +18,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.lockcheck import make_lock
 from repro.crypto.cid import CID
 from repro.errors import IntegrityError, QueryError
 from repro.fabric.channel import Channel
@@ -79,7 +80,11 @@ class QueryEngine:
     # the lock keeps its counters exact.
     fetch_workers: int | None = None
     _cache: dict[str, tuple[int, list["QueryRow"]]] = field(default_factory=dict)
-    _stats_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    # make_lock: a plain Lock normally; instrumented for lock-order and
+    # guarded-write checking when the repro.analysis sanitizers are active.
+    _stats_lock: threading.Lock = field(
+        default_factory=lambda: make_lock("query.stats"), repr=False
+    )
 
     # -- planning -------------------------------------------------------------
 

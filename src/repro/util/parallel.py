@@ -7,8 +7,11 @@ those per-item pipelines on a thread pool instead of serializing them.
 Two properties matter for the rest of the system:
 
 * **Order and errors match the serial path.** Results come back in input
-  order, and the first failing item's exception propagates (the remaining
-  futures are still awaited so no work leaks past the call).
+  order, and the first failing item's exception propagates. Futures that
+  have not started yet are *cancelled* at that point — like the serial
+  path, items after the failure are not executed needlessly; tasks already
+  running on a worker thread finish (Python threads cannot be interrupted)
+  and are awaited so no work leaks past the call.
 * **Tracing context propagates.** Each task runs inside a copy of the
   caller's :mod:`contextvars` context, so spans opened in worker threads
   parent correctly under the caller's span instead of becoming orphan
@@ -65,11 +68,21 @@ def parallel_map(
         ]
         results, first_error = [], None
         for future in futures:
+            if first_error is not None:
+                # First failure seen: stop work that hasn't started. A
+                # cancelled future never runs; one already on a worker
+                # thread runs to completion and is awaited here so nothing
+                # leaks past the call.
+                if not future.cancel():
+                    try:
+                        future.result()
+                    except BaseException:  # noqa: BLE001  # reprolint: disable=HYG202
+                        pass  # first error wins; this one is deliberately dropped
+                continue
             try:
                 results.append(future.result())
             except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
+                first_error = exc
         if first_error is not None:
             raise first_error
         return results

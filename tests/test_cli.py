@@ -196,3 +196,93 @@ class TestChaosAlertsCli:
         assert {"ipfs_node_down", "fabric_peer_down", "consensus_drop_storm"} <= fired
         resolved = {e["rule"] for e in payload["alerts"]["log"] if e["state"] == "resolved"}
         assert fired <= resolved
+
+
+class TestLintCli:
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("def add(a, b):\n    return a + b\n")
+        assert main(["lint", str(target), "--baseline", str(tmp_path / "b.json")]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_seeded_wall_clock_read_fails_with_rule_and_location(self, capsys, tmp_path):
+        chaincodes = tmp_path / "chaincodes"
+        chaincodes.mkdir()
+        target = chaincodes / "bad.py"
+        target.write_text("import time\n\n\ndef stamp(stub):\n    return {'at': time.time()}\n")
+        assert main(["lint", str(target), "--baseline", str(tmp_path / "b.json")]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert "bad.py:5:" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        chaincodes = tmp_path / "chaincodes"
+        chaincodes.mkdir()
+        (chaincodes / "bad.py").write_text(
+            "import uuid\n\n\ndef f(stub):\n    return str(uuid.uuid4())\n"
+        )
+        assert main([
+            "lint", str(chaincodes), "--format", "json",
+            "--baseline", str(tmp_path / "b.json"),
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert [f["rule_id"] for f in payload["findings"]] == ["DET104"]
+
+    def test_baseline_workflow(self, capsys, tmp_path):
+        chaincodes = tmp_path / "chaincodes"
+        chaincodes.mkdir()
+        (chaincodes / "old.py").write_text(
+            "import time\n\n\ndef f(stub):\n    return time.time()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(chaincodes), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        # The accepted finding no longer fails the gate...
+        assert main(["lint", str(chaincodes), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but a fresh one still does.
+        (chaincodes / "new.py").write_text(
+            "import random\n\n\ndef g(stub):\n    return random.random()\n"
+        )
+        assert main(["lint", str(chaincodes), "--baseline", str(baseline)]) == 1
+
+    def test_missing_path_is_usage_error(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope"), "--baseline",
+                     str(tmp_path / "b.json")]) == 2
+
+    def test_repo_is_clean_against_checked_in_baseline(self, capsys, monkeypatch):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert main(["lint"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+
+class TestSanitizeRunCli:
+    def test_short_standard_run_clean(self, capsys):
+        assert main(["sanitize-run", "standard", "--seed", "0", "--cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "data loss 0" in out
+        assert "no findings" in out
+        for mode in ("consensus", "divergence", "ledger", "locks"):
+            assert mode in out
+
+    def test_json_output(self, capsys):
+        assert main(["sanitize-run", "standard", "--seed", "1", "--cycles", "6",
+                     "--sanitize", "ledger", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data_loss"] == 0
+        assert payload["sanitizers"]["ok"] is True
+        assert payload["sanitizers"]["modes"] == ["ledger"]
+        assert payload["sanitizers"]["checks"]["ledger"] > 0
+
+    def test_bad_mode_is_usage_error(self, capsys):
+        assert main(["sanitize-run", "standard", "--sanitize", "turbo"]) == 2
+
+    def test_chaos_run_accepts_sanitize_flag(self, capsys):
+        assert main(["chaos", "run", "standard", "--seed", "0", "--cycles", "8",
+                     "--sanitize", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizers : PASS" in out

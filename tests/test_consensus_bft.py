@@ -197,3 +197,65 @@ class TestDecisionCallback:
         cluster.submit("observed")
         cluster.run()
         assert len(events) == 4
+
+
+class TestViewChangeSafety:
+    """Cross-view agreement: no seq may ever decide two different requests."""
+
+    def test_prepared_replica_refuses_conflicting_reproposal(self):
+        from repro.consensus.bft import _digest
+        from repro.consensus.messages import ClientRequest, PrePrepare
+
+        cluster = make_cluster()
+        req = cluster.submit("first")
+        cluster.run()
+        replica = cluster.replicas["validator-1"]
+        assert replica._prepared_digest[0] == _digest(req)
+        # A later view's primary tries to order a *different* request at a
+        # seq this replica already prepared: it must not participate.
+        replica.view = 1
+        rogue = ClientRequest(request_id="rogue", payload="other")
+        replica._dispatch(PrePrepare(1, 0, _digest(rogue), rogue))
+        assert (1, 0) not in replica._slots
+        assert [d.request.request_id for d in replica.log] == [req.request_id]
+
+    def test_reproposal_of_same_request_still_accepted(self):
+        from repro.consensus.bft import _digest
+        from repro.consensus.messages import PrePrepare
+
+        cluster = make_cluster()
+        req = cluster.submit("first")
+        cluster.run()
+        replica = cluster.replicas["validator-1"]
+        replica.view = 1
+        replica._dispatch(PrePrepare(1, 0, _digest(req), req))
+        assert (1, 0) in replica._slots  # same digest: participation allowed
+
+    def test_view_change_votes_carry_prepared_frontier(self):
+        cluster = make_cluster()
+        for i in range(3):
+            cluster.submit(f"r{i}")
+        cluster.run()
+        for replica in cluster.replicas.values():
+            assert replica._max_prepared_seq() == 2
+
+    def test_new_primary_proposes_past_decided_slots(self):
+        cluster = make_cluster(view_timeout=0.5)
+        for i in range(2):
+            cluster.submit(f"pre-{i}")
+        cluster.run()
+        # Primary dies; the re-proposed request must land on a fresh seq
+        # (>= 2), never colliding with a slot the old view decided.
+        cluster.network.set_node_up("validator-0", False)
+        req = cluster.submit("after crash")
+        cluster.run(until=30.0)
+        decided = [
+            d
+            for name, r in cluster.replicas.items()
+            if name != "validator-0"
+            for d in r.log
+            if d.request.request_id == req.request_id
+        ]
+        assert decided
+        assert all(d.seq >= 2 for d in decided)
+        assert cluster.log_prefix_consistent()
