@@ -103,6 +103,7 @@ def _emit(results, n_items, name="ablation_batching"):
             "pbft_instances": [float(r["instances"]) for r in results.values()],
         },
         meta={"batch_sizes": list(results), "n_items": n_items},
+        seed=0,
     )
 
 

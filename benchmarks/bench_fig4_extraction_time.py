@@ -46,6 +46,7 @@ def test_fig4_scatter(benchmark):
             "extraction_time_s": [float(t) for t in times],
         },
         meta={"n_frames": 60},
+        seed=17,
     )
 
     # Shape assertions: small records dominate; correlation positive but

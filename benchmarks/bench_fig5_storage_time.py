@@ -47,6 +47,7 @@ def test_fig5_sweep(benchmark):
             "overhead_s": [t.overhead_s for t in timings],
         },
         meta={"sizes_bytes": list(SIZES), "repeats": 3},
+        seed=0,
     )
 
     sizes = np.array([t.size for t in timings], dtype=float)

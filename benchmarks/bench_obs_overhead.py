@@ -59,6 +59,7 @@ def test_disabled_span_call_time(benchmark):
         "obs_overhead_disabled",
         {"per_call_s": [per_call_s]},
         meta={"calls_per_round": N, "mode": "disabled"},
+        seed=0,
     )
     # A guard check + context-manager protocol on a shared object: well
     # under a microsecond on any machine this runs on.
@@ -80,6 +81,7 @@ def test_enabled_span_call_time(benchmark):
         "obs_overhead_enabled",
         {"per_call_s": [per_call_s]},
         meta={"calls_per_round": N, "mode": "enabled"},
+        seed=0,
     )
     # Enabled tracing does real work (span object, clock reads, context
     # var); it just has to stay cheap relative to any instrumented stage.
@@ -95,16 +97,17 @@ def test_combined_artifact_written():
     """
     import json
 
-    from repro.bench.report import RESULTS_DIR
+    from repro.bench.report import results_dir
 
     series = {}
     for mode in ("disabled", "enabled"):
-        path = RESULTS_DIR / f"BENCH_obs_overhead_{mode}.json"
+        path = results_dir() / f"BENCH_obs_overhead_{mode}.json"
         doc = json.loads(path.read_text())
         series[f"{mode}_per_call_s"] = doc["series"]["per_call_s"]["values"]
     out = emit_json(
         "obs_overhead",
         series,
         meta={"calls_per_round": N, "modes": ["disabled", "enabled"]},
+        seed=0,
     )
     assert out.exists()

@@ -34,6 +34,7 @@ def test_retry_happy_path_overhead(benchmark):
         "resilience_overhead",
         {"retry_happy_per_call_s": [per_call_s]},
         meta={"calls_per_round": N, "path": "retry, first-attempt success"},
+        seed=0,
     )
     # One try/except frame around the call: must stay in the microsecond
     # range, far below any real dependency call it will ever wrap.
@@ -54,6 +55,7 @@ def test_closed_breaker_overhead(benchmark):
         "resilience_overhead_breaker",
         {"closed_breaker_per_call_s": [per_call_s]},
         meta={"calls_per_round": N, "path": "closed breaker, success"},
+        seed=0,
     )
     assert per_call_s < 2e-5, f"closed breaker cost {per_call_s * 1e9:.0f} ns/call"
 
@@ -95,6 +97,7 @@ def test_resilient_invoke_vs_raw_invoke(benchmark):
             "rounds": rounds,
             "overhead_ratio": hardened_s / raw_mean if raw_mean else 0.0,
         },
+        seed=0,
     )
     # The wrapper adds a breaker check + closure per call on top of a full
     # endorse/order/validate round trip; it must stay within 2x raw.

@@ -10,10 +10,18 @@ from repro.bench.figures import (
     fig5_storage_times,
     fig6_retrieval_times,
 )
-from repro.bench.report import emit, emit_json, format_table, human_size, series_stats
+from repro.bench.report import (
+    emit,
+    emit_json,
+    format_table,
+    human_size,
+    results_dir,
+    series_stats,
+)
 from repro.bench.timer import Timing, measure
 
 __all__ = [
+    "results_dir",
     "ConfidenceSeries",
     "HybridTiming",
     "fig2_sample_record",

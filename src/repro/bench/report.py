@@ -18,6 +18,17 @@ from typing import Mapping, Sequence
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
 
+def results_dir() -> Path:
+    """Where bench artifacts land: ``$REPRO_BENCH_DIR`` or the repo default.
+
+    The override lets a CI job (or `repro bench-diff` workflows generally)
+    write a *fresh* run to a scratch directory and compare it against the
+    checked-in baselines without touching them.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    return Path(override) if override else RESULTS_DIR
+
+
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Fixed-width table with a title rule."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
@@ -44,8 +55,9 @@ def _fmt(cell: object) -> str:
 def emit(name: str, text: str) -> Path:
     """Print a table and persist it to benchmarks/results/<name>.txt."""
     print("\n" + text + "\n")
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.txt"
     path.write_text(text + "\n")
     return path
 
@@ -74,24 +86,35 @@ def emit_json(
     name: str,
     series: Mapping[str, Sequence[float]],
     meta: Mapping[str, object] | None = None,
+    seed: int | None = None,
 ) -> Path:
     """Persist benchmark series to ``benchmarks/results/BENCH_<name>.json``.
 
     ``series`` maps a series name (e.g. ``"storage_1MiB_ipfs_only_s"``) to
     its raw measurements; each gets mean/std/median summary statistics so
-    downstream tooling never re-derives them.
+    downstream tooling never re-derives them. The document is the v2 BENCH
+    envelope (:mod:`repro.obs.benchtrend`): schema version, ``seed``, and a
+    config fingerprint, so `repro bench-diff` can compare runs. Set
+    ``REPRO_BENCH_HISTORY=1`` to also append the envelope to the
+    append-only history store under ``benchmarks/results/history/``.
     """
-    doc = {
-        "name": name,
-        "meta": dict(meta) if meta else {},
-        "series": {
+    from repro.obs.benchtrend import make_envelope, record_history
+
+    doc = make_envelope(
+        name,
+        {
             key: {**series_stats(vals), "values": [float(v) for v in vals]}
             for key, vals in series.items()
         },
-    }
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
+        meta=meta,
+        seed=seed,
+    )
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    if os.environ.get("REPRO_BENCH_HISTORY"):
+        record_history(doc, out)
     return path
 
 

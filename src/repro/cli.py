@@ -12,6 +12,8 @@ every invocation stands up a fresh network — there is no daemon):
 * ``sanitize-run``         — run a chaos scenario with the runtime sanitizers enabled
 * ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
 * ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
+* ``critpath``             — cross-node critical path of a committed tx (stage/node/msg)
+* ``bench-diff``           — gate fresh BENCH results against the checked-in baseline
 * ``explorer``             — browse the ledger: blocks, txs, provenance, trust, audit
 * ``health``               — component health + SLIs for a live deployment
 * ``top``                  — live dashboard over a running chaos scenario
@@ -75,6 +77,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write a Chrome trace_event JSON (chrome://tracing)")
     trace.add_argument("--breakdown", action="store_true",
                        help="print the per-stage Fig. 5/6 latency decomposition")
+
+    crit = sub.add_parser(
+        "critpath",
+        help="critical path of a committed tx across client/peers/orderer/validators",
+    )
+    crit.add_argument("tx_id", help="tx id (prefix ok), or 'latest' for the most recent")
+    crit.add_argument("--items", type=int, default=1, help="items to store+retrieve first")
+    crit.add_argument("--json", action="store_true", dest="as_json")
+    crit.add_argument("--out", default=None, metavar="FILE",
+                      help="write the tx's cross-node Chrome trace (one process row per node)")
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare fresh BENCH_*.json results against the checked-in baseline",
+    )
+    bench_diff.add_argument("--baseline", default="benchmarks/results",
+                            help="baseline directory (default: benchmarks/results)")
+    bench_diff.add_argument("--current", default=None,
+                            help="directory with the fresh run "
+                                 "(default: $REPRO_BENCH_DIR)")
+    bench_diff.add_argument("--bench", action="append", default=None, metavar="NAME",
+                            help="bench name(s) to compare (default: all in current dir)")
+    bench_diff.add_argument("--tolerance", type=float, default=0.1,
+                            help="relative tolerance for deterministic metrics (default 0.1)")
+    bench_diff.add_argument("--timing-tolerance", type=float, default=None,
+                            help="relative tolerance for wall-time metrics "
+                                 "(default: report-only, no gating)")
+    bench_diff.add_argument("--json", action="store_true", dest="as_json")
 
     chaos = sub.add_parser(
         "chaos", help="run a seeded fault-injection scenario against a live deployment"
@@ -362,6 +392,60 @@ def _cmd_trace(args) -> int:
     finally:
         obs.disable()
     return 0
+
+
+def _cmd_critpath(args) -> int:
+    from repro import obs
+    from repro.errors import ObservabilityError
+    from repro.obs.critpath import critical_path, write_chrome_trace_by_node
+
+    tracer, _registry = _traced_demo(args.items)
+    try:
+        try:
+            crit = critical_path(tracer, args.tx_id)
+        except ObservabilityError as exc:
+            print(f"repro critpath: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(crit.to_dict(), indent=2, sort_keys=True))
+        else:
+            for line in crit.render_lines():
+                print(line)
+        if args.out:
+            write_chrome_trace_by_node(args.out, tracer, trace_id=crit.trace_id)
+            print(f"\nchrome trace (node = process row): {args.out}")
+    finally:
+        obs.disable()
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import os
+
+    from repro.errors import ObservabilityError
+    from repro.obs.benchtrend import compare_dirs
+
+    current = args.current or os.environ.get("REPRO_BENCH_DIR")
+    if not current:
+        print("repro bench-diff: no current directory "
+              "(pass --current or set REPRO_BENCH_DIR)", file=sys.stderr)
+        return 2
+    try:
+        report = compare_dirs(
+            args.baseline, current,
+            names=args.bench,
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
+        )
+    except ObservabilityError as exc:
+        print(f"repro bench-diff: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.render_lines():
+            print(line)
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args) -> int:
@@ -709,6 +793,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "critpath":
+        return _cmd_critpath(args)
+    if args.command == "bench-diff":
+        return _cmd_bench_diff(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "lint":

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no runtime dep
+    from repro.obs.span import SpanContext
 
 
 @dataclass(frozen=True)
@@ -13,6 +16,11 @@ class Message:
     ``payload`` is an arbitrary Python object (the simulator is in-process,
     so no wire serialization is required), but ``size_bytes`` drives the
     bandwidth model and must reflect the logical wire size of the payload.
+
+    ``trace_ctx`` is the W3C-traceparent-style header slot: the sender's
+    span context, stamped by ``SimNetwork.send`` when tracing is enabled,
+    restored as the remote parent at delivery. Excluded from equality like
+    ``send_time`` — tracing metadata is not message identity.
     """
 
     src: str
@@ -21,6 +29,7 @@ class Message:
     size_bytes: int = 256
     kind: str = "msg"
     send_time: float = field(default=0.0, compare=False)
+    trace_ctx: "SpanContext | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

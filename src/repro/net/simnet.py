@@ -26,6 +26,7 @@ from typing import Any, Callable
 from repro.errors import NetworkError, NodeUnreachableError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
+from repro.obs.tracer import current_context, get_tracer
 from repro.util.clock import SimClock
 from repro.util.rng import rng_for
 
@@ -158,9 +159,13 @@ class SimNetwork:
         self._require_node(src)
         if dst not in self._handlers:
             raise NodeUnreachableError(f"unknown destination node {dst!r}")
+        # Trace-context propagation: stamp the sender's span identity onto
+        # the message (None when tracing is off — one global read). The
+        # stamp happens at send time, so the causal parent is the span
+        # that *sent*, not whatever runs the event loop at delivery.
         msg = Message(
             src=src, dst=dst, payload=payload, size_bytes=size_bytes,
-            kind=kind, send_time=self.clock.now(),
+            kind=kind, send_time=self.clock.now(), trace_ctx=current_context(),
         )
         self.stats.sent += 1
         self.stats.bytes_sent += size_bytes
@@ -201,7 +206,20 @@ class SimNetwork:
         self.stats.bytes_delivered += msg.size_bytes
         for tap in self.taps:
             tap(msg)
-        self._handlers[msg.dst](msg)
+        tracer = get_tracer()
+        if tracer is None:
+            self._handlers[msg.dst](msg)
+            return
+        # Restore the remote parent: the handler (and every span it opens)
+        # joins the sender's trace, turning per-node span trees into one
+        # causal DAG per transaction. A message without a stamp (sent
+        # outside any span) falls back to the ambient context.
+        with tracer.span(
+            "net.deliver",
+            attrs={"src": msg.src, "node": msg.dst, "kind": msg.kind},
+            remote_parent=msg.trace_ctx,
+        ):
+            self._handlers[msg.dst](msg)
 
     # -- event loop -----------------------------------------------------------
 

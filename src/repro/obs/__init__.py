@@ -19,6 +19,16 @@ Explorer, built in:
 * **Breakdown** (:mod:`repro.obs.breakdown`): :func:`pipeline_breakdown`
   reproduces the paper's per-stage storage/retrieval latency decomposition
   (Figs. 5–6) from real spans.
+* **Critical path** (:mod:`repro.obs.critpath`): with trace contexts
+  propagated across :mod:`repro.net` messages, :func:`critical_path`
+  extracts the longest dependency chain of a committed tx across client,
+  peers, orderer, and validators, attributing wall time to
+  ``{stage, node, msg_kind}``; :func:`chrome_trace_by_node` renders the
+  cross-node DAG with one process row per node.
+* **Bench trends** (:mod:`repro.obs.benchtrend`): the standardized BENCH
+  JSON envelope (schema version, seed, config fingerprint), the
+  append-only ``benchmarks/results/history/`` store, and the
+  direction-aware diffing behind ``repro bench-diff``.
 * **Explorer** (:mod:`repro.obs.explorer`): the Hyperledger-Explorer half —
   :class:`LedgerExplorer` browses blocks/txs, reconstructs provenance
   trails from the ledger, charts trust timelines, and runs the full
@@ -62,13 +72,15 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     get_registry,
     set_registry,
 )
-from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
 from repro.obs.tracer import (
     LATENCY_BUCKETS,
     Tracer,
+    current_context,
     current_span,
     disable,
     enable,
@@ -95,6 +107,26 @@ _LAZY_SUBMODULE = {
             "standard_rules",
         ),
         "explorer": ("AuditFinding", "AuditReport", "LedgerExplorer"),
+        "critpath": (
+            "CritSegment",
+            "CriticalPath",
+            "chrome_trace_by_node",
+            "critical_path",
+            "span_node",
+            "write_chrome_trace_by_node",
+        ),
+        "benchtrend": (
+            "DiffReport",
+            "MetricDelta",
+            "classify_metric",
+            "compare_dirs",
+            "config_fingerprint",
+            "diff_docs",
+            "load_bench",
+            "make_envelope",
+            "migrate_legacy",
+            "record_history",
+        ),
         "health": (
             "ComponentHealth",
             "HealthMonitor",
@@ -131,6 +163,22 @@ __all__ = [
     "HealthStatus",
     "LedgerExplorer",
     "standard_rules",
+    "CritSegment",
+    "CriticalPath",
+    "chrome_trace_by_node",
+    "critical_path",
+    "span_node",
+    "write_chrome_trace_by_node",
+    "DiffReport",
+    "MetricDelta",
+    "classify_metric",
+    "compare_dirs",
+    "config_fingerprint",
+    "diff_docs",
+    "load_bench",
+    "make_envelope",
+    "migrate_legacy",
+    "record_history",
     "PipelineBreakdown",
     "StageTime",
     "pipeline_breakdown",
@@ -145,13 +193,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
     "get_registry",
     "set_registry",
     "NOOP_SPAN",
     "NoopSpan",
     "Span",
+    "SpanContext",
     "LATENCY_BUCKETS",
     "Tracer",
+    "current_context",
     "current_span",
     "disable",
     "enable",

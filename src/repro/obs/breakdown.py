@@ -68,6 +68,8 @@ STAGE_LABELS = {
     # resilience (both paths; cheap and usually absent when healthy)
     "resilience.retry": "retry backoff",
     "ipfs.quarantine": "quarantine",
+    # network (delivery spans opened by SimNetwork when tracing is on)
+    "net.deliver": "network deliver",
 }
 
 UNATTRIBUTED = "(uninstrumented)"
@@ -125,8 +127,13 @@ def pipeline_breakdown(tracer: Tracer | None = None) -> dict[str, PipelineBreakd
         wall[pipeline] = wall.get(pipeline, 0.0) + root.duration_s
         samples[pipeline] = samples.get(pipeline, 0) + 1
         stages = acc.setdefault(pipeline, {})
-        for span in [root, *tracer.descendants(root)]:
-            kids = tracer.children(span)
+        # Walk the *execution* view: remote spans (message deliveries) nest
+        # under the frame that ran them, not under their causal sender —
+        # the view where child intervals sit inside the parent's, which
+        # exclusive-time accounting needs to partition wall time without
+        # double-booking seconds.
+        for span in [root, *tracer.descendants(root, view="exec")]:
+            kids = tracer.children(span, view="exec")
             exclusive = _exclusive_s(span, kids)
             if exclusive <= 0.0:
                 continue

@@ -17,12 +17,22 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import (  # noqa: F401  (escape re-exported: it is part of the exposition contract)
+    MetricsRegistry,
+    escape_label_value,
+    get_registry,
+)
 from repro.obs.span import Span
 from repro.obs.tracer import Tracer, get_tracer
 
 
 def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Prometheus text exposition of the registry.
+
+    Label values pass through :func:`escape_label_value`, so backslashes,
+    double quotes, and newlines in dynamic labels (peer names, error
+    strings) cannot corrupt the line-oriented format.
+    """
     return (registry or get_registry()).render()
 
 

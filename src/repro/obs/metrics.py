@@ -33,7 +33,15 @@ def labelset(labels: Mapping[str, object] | None) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-def _escape(value: str) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Exactly three characters are special inside a quoted label value —
+    backslash, double quote, and newline — and the backslash must be
+    escaped *first* so the escapes themselves survive. Every exposition
+    path (counters, gauges, histogram/quantile series) funnels through
+    here via :func:`render_labels`.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
@@ -42,7 +50,7 @@ def render_labels(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> 
     pairs = labels + extra
     if not pairs:
         return ""
-    return "{" + ",".join(f'{k}="{_escape(v)}"' for k, v in pairs) + "}"
+    return "{" + ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs) + "}"
 
 
 @dataclass

@@ -13,6 +13,7 @@ traces of the same run are stable and testable.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -25,6 +26,30 @@ def next_span_id() -> str:
     return f"{next(_ids):08x}"
 
 
+@dataclass(frozen=True)
+class SpanContext:
+    """The injectable/extractable identity of a span (W3C traceparent style).
+
+    Carried across process boundaries — in this codebase, stamped onto
+    :class:`repro.net.message.Message` by ``SimNetwork.send`` — so a span
+    opened on the receiving node can join the sender's trace as a *remote*
+    child instead of starting a disconnected tree.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_headers(self) -> dict[str, str]:
+        """The context as wire headers (for serializing transports)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_headers(cls, headers: dict[str, str] | None) -> "SpanContext | None":
+        if not headers or "trace_id" not in headers or "span_id" not in headers:
+            return None
+        return cls(trace_id=headers["trace_id"], span_id=headers["span_id"])
+
+
 class Span:
     """One timed region. Use as ``with tracer.span("name") as sp:``."""
 
@@ -33,6 +58,8 @@ class Span:
         "span_id",
         "trace_id",
         "parent_id",
+        "exec_parent_id",
+        "remote",
         "start_s",
         "end_s",
         "attrs",
@@ -40,6 +67,7 @@ class Span:
         "error",
         "_tracer",
         "_token",
+        "_remote_parent",
     )
 
     def __init__(
@@ -47,11 +75,17 @@ class Span:
         name: str,
         tracer: "Tracer",
         attrs: dict[str, Any] | None = None,
+        remote_parent: SpanContext | None = None,
     ) -> None:
         self.name = name
         self.span_id = next_span_id()
         self.trace_id: str = self.span_id  # overwritten on enter if nested
         self.parent_id: str | None = None
+        # The ambient (call-stack) parent. Equal to parent_id for ordinary
+        # spans; differs for remote spans, where parent_id is the causal
+        # sender and exec_parent_id the frame that ran the delivery.
+        self.exec_parent_id: str | None = None
+        self.remote: bool = False  # True when parented across a message hop
         self.start_s: float = 0.0
         self.end_s: float | None = None
         self.attrs: dict[str, Any] = attrs if attrs is not None else {}
@@ -59,12 +93,17 @@ class Span:
         self.error: str | None = None
         self._tracer = tracer
         self._token = None
+        self._remote_parent = remote_parent
 
     # -- recording --------------------------------------------------------------
 
     def set_attr(self, key: str, value: Any) -> "Span":
         self.attrs[key] = value
         return self
+
+    def context(self) -> SpanContext:
+        """This span's identity, injectable into an outgoing message."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def record_error(self, exc: BaseException) -> None:
         self.status = "error"
@@ -98,6 +137,8 @@ class Span:
             "span_id": self.span_id,
             "trace_id": self.trace_id,
             "parent_id": self.parent_id,
+            "exec_parent_id": self.exec_parent_id,
+            "remote": self.remote,
             "start_s": self.start_s,
             "end_s": self.end_s,
             "duration_s": self.duration_s,
@@ -131,6 +172,9 @@ class NoopSpan:
 
     def set_attr(self, key: str, value: Any) -> "NoopSpan":
         return self
+
+    def context(self) -> None:
+        return None
 
     def record_error(self, exc: BaseException) -> None:
         return None

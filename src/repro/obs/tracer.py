@@ -19,9 +19,9 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
-from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
 
 _current_span: ContextVar[Span | None] = ContextVar("repro_obs_current_span", default=None)
 
@@ -64,17 +64,47 @@ class Tracer:
         self.registry = registry
         self.max_spans = max_spans
         self.dropped = 0
-        self.finished: deque[Span] = deque(maxlen=max_spans)
+        self.finished: deque[Span] = deque()
+        # Parent -> children and root indexes over `finished`, maintained on
+        # span finish and on ring-buffer eviction, so children()/roots()
+        # are O(answer) instead of a scan over every retained span (which
+        # made tree walks over large traces O(n^2)).
+        self._children_ix: dict[str, dict[str, Span]] = {}
+        # Remote spans only: exec-context parent -> the remote spans whose
+        # delivery ran inside it (their causal parent is elsewhere).
+        self._exec_ix: dict[str, dict[str, Span]] = {}
+        self._roots_ix: dict[str, Span] = {}
 
     # -- span lifecycle ---------------------------------------------------------
 
-    def span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
-        """Create a span; activate it with ``with``."""
-        return Span(name, self, attrs)
+    def span(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        remote_parent: SpanContext | None = None,
+    ) -> Span:
+        """Create a span; activate it with ``with``.
+
+        ``remote_parent`` — a :class:`SpanContext` extracted from an
+        incoming message — overrides the ambient (contextvars) parent, so
+        the span joins the *sender's* trace: the causal edge, not the
+        event-loop call stack.
+        """
+        return Span(name, self, attrs, remote_parent=remote_parent)
 
     def _enter(self, span: Span) -> None:
         parent = _current_span.get()
         if parent is not None:
+            span.exec_parent_id = parent.span_id
+        remote = span._remote_parent
+        if remote is not None:
+            # Causal parent: the span that *sent* the message. The ambient
+            # frame is kept separately (exec_parent_id) so time stays
+            # nested under whatever ran the delivery.
+            span.parent_id = remote.span_id
+            span.trace_id = remote.trace_id
+            span.remote = True
+        elif parent is not None:
             span.parent_id = parent.span_id
             span.trace_id = parent.trace_id
         span._token = _current_span.set(span)
@@ -88,10 +118,12 @@ class Tracer:
             _current_span.reset(span._token)
             span._token = None
         if self.max_spans is not None and len(self.finished) == self.max_spans:
+            self._unindex(self.finished.popleft())
             self.dropped += 1
             if self.registry is not None:
                 self.registry.counter("spans_dropped_total").inc()
         self.finished.append(span)
+        self._index(span)
         if self.registry is not None:
             self.registry.histogram(
                 "span_seconds", LATENCY_BUCKETS, labels={"name": span.name}
@@ -99,6 +131,32 @@ class Tracer:
             self.registry.counter(
                 "spans_total", labels={"name": span.name, "status": span.status}
             ).inc()
+
+    # -- index maintenance ------------------------------------------------------
+
+    def _index(self, span: Span) -> None:
+        if span.parent_id is None:
+            self._roots_ix[span.span_id] = span
+        else:
+            self._children_ix.setdefault(span.parent_id, {})[span.span_id] = span
+        if span.remote and span.exec_parent_id is not None:
+            self._exec_ix.setdefault(span.exec_parent_id, {})[span.span_id] = span
+
+    def _unindex(self, span: Span) -> None:
+        if span.parent_id is None:
+            self._roots_ix.pop(span.span_id, None)
+        else:
+            bucket = self._children_ix.get(span.parent_id)
+            if bucket is not None:
+                bucket.pop(span.span_id, None)
+                if not bucket:
+                    del self._children_ix[span.parent_id]
+        if span.remote and span.exec_parent_id is not None:
+            bucket = self._exec_ix.get(span.exec_parent_id)
+            if bucket is not None:
+                bucket.pop(span.span_id, None)
+                if not bucket:
+                    del self._exec_ix[span.exec_parent_id]
 
     # -- queries ----------------------------------------------------------------
 
@@ -108,18 +166,40 @@ class Tracer:
         return [s for s in self.finished if s.name == name]
 
     def roots(self) -> list[Span]:
-        return [s for s in self.finished if s.parent_id is None]
+        return list(self._roots_ix.values())
 
-    def children(self, span: Span) -> list[Span]:
-        kids = [s for s in self.finished if s.parent_id == span.span_id]
+    def children(self, span: Span, view: str = "causal") -> list[Span]:
+        """Finished children of ``span``, in start order.
+
+        Two views of the same spans:
+
+        * ``"causal"`` (default) — children by parent link: a remote span
+          (message delivery) hangs off the span that *sent* the message,
+          which may have finished long before the delivery ran.
+        * ``"exec"`` — children by execution context: a remote span hangs
+          off the frame that ran its delivery, so child intervals nest
+          inside the parent's. This is the view exclusive-time accounting
+          (the Fig. 5/6 breakdown) needs.
+        """
+        bucket = self._children_ix.get(span.span_id)
+        causal: Iterable[Span] = bucket.values() if bucket else ()
+        if view == "causal":
+            kids = list(causal)
+        elif view == "exec":
+            kids = [s for s in causal if not s.remote]
+            exec_bucket = self._exec_ix.get(span.span_id)
+            if exec_bucket:
+                kids.extend(exec_bucket.values())
+        else:
+            raise ValueError(f"unknown children view {view!r}")
         return sorted(kids, key=lambda s: s.start_s)
 
-    def descendants(self, span: Span) -> list[Span]:
+    def descendants(self, span: Span, view: str = "causal") -> list[Span]:
         out: list[Span] = []
         frontier = [span]
         while frontier:
             node = frontier.pop()
-            kids = self.children(node)
+            kids = self.children(node, view=view)
             out.extend(kids)
             frontier.extend(kids)
         return out
@@ -159,6 +239,9 @@ class Tracer:
 
     def clear(self) -> None:
         self.finished.clear()
+        self._children_ix.clear()
+        self._exec_ix.clear()
+        self._roots_ix.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -194,7 +277,11 @@ def disable() -> None:
     set_tracer(None)
 
 
-def span(name: str, attrs: dict[str, Any] | None = None) -> Span | NoopSpan:
+def span(
+    name: str,
+    attrs: dict[str, Any] | None = None,
+    remote_parent: SpanContext | None = None,
+) -> Span | NoopSpan:
     """Start a span on the global tracer; the no-op singleton when disabled.
 
     This is the call instrumented code makes. The disabled path is a single
@@ -203,12 +290,25 @@ def span(name: str, attrs: dict[str, Any] | None = None) -> Span | NoopSpan:
     tracer = _GLOBAL
     if tracer is None:
         return NOOP_SPAN
-    return tracer.span(name, attrs)
+    return tracer.span(name, attrs, remote_parent=remote_parent)
 
 
 def current_span() -> Span | None:
     """The innermost active span in this execution context, if any."""
     return _current_span.get()
+
+
+def current_context() -> SpanContext | None:
+    """The current span's injectable context, or ``None``.
+
+    ``None`` both when tracing is disabled (checked first — the disabled
+    path costs one global read) and when no span is active. This is what
+    transports call to stamp outgoing messages.
+    """
+    if _GLOBAL is None:
+        return None
+    sp = _current_span.get()
+    return None if sp is None else sp.context()
 
 
 @contextmanager

@@ -27,6 +27,47 @@ class TestLabels:
         assert rendered == '{msg="say \\"hi\\"\\\\now"}'
 
 
+class TestLabelEscaping:
+    """Exposition-format escaping: ``\\`` -> ``\\\\``, ``"`` -> ``\\"``,
+    newline -> ``\\n`` — and backslash must be escaped *first*, or the
+    escapes introduced for quotes/newlines get double-escaped."""
+
+    def test_each_special_character(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value("back\\slash") == "back\\\\slash"
+        assert escape_label_value('qu"ote') == 'qu\\"ote'
+        assert escape_label_value("new\nline") == "new\\nline"
+        assert escape_label_value("plain") == "plain"
+
+    def test_backslash_escaped_before_other_escapes(self):
+        from repro.obs.metrics import escape_label_value
+
+        # A literal backslash-n must stay distinguishable from a newline.
+        assert escape_label_value("a\\nb") == "a\\\\nb"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_trailing_backslash_cannot_eat_the_closing_quote(self):
+        rendered = render_labels(labelset({"path": "C:\\"}))
+        assert rendered == '{path="C:\\\\"}'
+
+    def test_hostile_values_round_trip_through_exposition(self):
+        reg = MetricsRegistry()
+        hostile = 'peer\\1 "quoted"\nnext'
+        reg.counter("evil_total", labels={"peer": hostile}).inc()
+        text = render_prometheus(reg)
+        (line,) = [l for l in text.splitlines() if "evil_total{" in l]
+        assert "\n" not in line  # one line per sample, always
+        assert line.endswith('{peer="peer\\\\1 \\"quoted\\"\\nnext"} 1.0')
+
+    def test_export_reexports_the_escaper(self):
+        from repro.obs.export import escape_label_value as from_export
+        from repro.obs.metrics import escape_label_value as from_metrics
+
+        assert from_export is from_metrics
+
+
 class TestExpositionFormat:
     def _registry(self):
         reg = MetricsRegistry(prefix="t")
