@@ -1,0 +1,170 @@
+"""Recovery-time benchmark: WAL replay and verified state transfer.
+
+The durability acceptance bar: a crashed peer must come back to exact state
+parity, and the *shape* of what it recovered from local durable state vs the
+network must be deterministic. Each round builds a fresh durable deployment,
+commits a fixed workload, then measures the two recovery paths:
+
+* **WAL replay** — amnesia crash mid-checkpoint-interval: the peer adopts
+  the last checkpoint and re-commits the WAL suffix through full validation.
+* **State transfer** — a corrupted WAL: recovery falls back to a
+  digest-verified snapshot from quorum-agreeing donors.
+
+The count series (``replayed_blocks``, ``catchup_blocks``,
+``state_transfer_blocks``, ``checkpoint_height``) are EXACT in the
+bench-trend taxonomy — any drift is a behaviour change the `repro
+bench-diff` gate must catch. The ``*_wall_s`` series are TIMING: one-sided,
+tolerance-gated. Exits non-zero if a recovered peer fails state parity.
+
+Runnable standalone for CI (``python benchmarks/bench_recovery_time.py
+--quick``): one round, same gates.
+"""
+
+import time
+
+from repro.bench import emit, emit_json, format_table
+from repro.core import Framework, FrameworkConfig
+from repro.fabric.snapshot import states_agree
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.storage import CORRUPT
+from repro.trust import SourceTier
+
+N_BLOCKS = 18          # committed workload height before the crashes
+CHECKPOINT_INTERVAL = 8
+ROUNDS = 3
+CRASH_PEER = "peer1.org1"
+
+
+def _deploy():
+    set_registry(MetricsRegistry())
+    framework = Framework(
+        FrameworkConfig(
+            consensus="bft",
+            peers_per_org=2,
+            durability=True,
+            checkpoint_interval=CHECKPOINT_INTERVAL,
+            wal_sync_every=1,
+            resilience_seed=0,
+        )
+    )
+    identity = framework.register_source("recovery-cam", tier=SourceTier.TRUSTED)
+    channel = framework.channel
+    base = channel.height()
+    while channel.height() < base + N_BLOCKS:
+        i = channel.height()
+        channel.invoke(
+            identity, "data_upload", "add_data", [f"cid-{i}", "a" * 64, "{}"]
+        )
+    return framework
+
+
+def _parity(channel, peer_name):
+    peer = channel.peers[peer_name]
+    other = next(
+        p for p in channel.peers.values() if p is not peer and p.online
+    )
+    assert peer.ledger.height == other.ledger.height, (
+        f"recovered {peer_name} at height {peer.ledger.height}, "
+        f"cluster at {other.ledger.height}"
+    )
+    assert states_agree(peer, other), f"{peer_name} failed post-recovery parity"
+
+
+def _round():
+    framework = _deploy()
+    manager = framework.durability
+
+    t0 = time.perf_counter()
+    replay = manager.crash_and_recover(CRASH_PEER)
+    recovery_wall_s = time.perf_counter() - t0
+    assert replay.kind == "wal_replay", replay.detail()
+    _parity(framework.channel, CRASH_PEER)
+
+    manager.damage_wal(CRASH_PEER, CORRUPT)
+    t0 = time.perf_counter()
+    transfer = manager.crash_and_recover(CRASH_PEER)
+    state_transfer_wall_s = time.perf_counter() - t0
+    assert transfer.kind == "state_transfer", transfer.detail()
+    _parity(framework.channel, CRASH_PEER)
+
+    return {
+        "replayed_blocks": float(replay.replayed_blocks),
+        "catchup_blocks": float(replay.caught_up_blocks),
+        "checkpoint_height": float(replay.checkpoint_height),
+        "state_transfer_blocks": float(transfer.lag_blocks),
+        "recovery_wall_s": recovery_wall_s,
+        "state_transfer_wall_s": state_transfer_wall_s,
+    }
+
+
+def _run(rounds=ROUNDS):
+    results = [_round() for _ in range(rounds)]
+    series = {key: [r[key] for r in results] for key in results[0]}
+    # The recovery shape is seed-determined: every round must agree exactly.
+    for key in ("replayed_blocks", "catchup_blocks", "checkpoint_height",
+                "state_transfer_blocks"):
+        assert len(set(series[key])) == 1, f"nondeterministic {key}: {series[key]}"
+    return series
+
+
+def _emit(series, rounds):
+    rows = [
+        ["wal_replay", int(series["checkpoint_height"][0]),
+         int(series["replayed_blocks"][0]), int(series["catchup_blocks"][0]),
+         f"{sum(series['recovery_wall_s']) / rounds * 1e3:.1f}"],
+        ["state_transfer", 0, 0, int(series["state_transfer_blocks"][0]),
+         f"{sum(series['state_transfer_wall_s']) / rounds * 1e3:.1f}"],
+    ]
+    text = format_table(
+        f"Recovery time ({N_BLOCKS} blocks, checkpoint every "
+        f"{CHECKPOINT_INTERVAL}, {rounds} round(s))",
+        ["path", "ckpt height", "replayed", "fetched", "mean ms"],
+        rows,
+    )
+    emit("recovery_time", text)
+    emit_json(
+        "recovery_time",
+        series,
+        meta={
+            "n_blocks": N_BLOCKS,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "rounds": rounds,
+            "crash_peer": CRASH_PEER,
+        },
+        seed=0,
+    )
+
+
+def test_recovery_time(benchmark):
+    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _emit(series, ROUNDS)
+    # Replay must actually use the checkpoint: never more WAL blocks than
+    # one checkpoint interval, and state transfer must fetch the full chain.
+    assert series["replayed_blocks"][0] <= CHECKPOINT_INTERVAL
+    assert series["state_transfer_blocks"][0] >= N_BLOCKS
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single round for the CI recovery gate",
+    )
+    args = parser.parse_args(argv)
+    rounds = 1 if args.quick else ROUNDS
+    series = _run(rounds)
+    _emit(series, rounds)
+    assert series["replayed_blocks"][0] <= CHECKPOINT_INTERVAL
+    assert series["state_transfer_blocks"][0] >= N_BLOCKS
+    print(
+        f"gate OK: replayed {int(series['replayed_blocks'][0])} from WAL "
+        f"(ckpt {int(series['checkpoint_height'][0])}), state transfer "
+        f"fetched {int(series['state_transfer_blocks'][0])} blocks, "
+        f"parity held on both paths"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -95,6 +95,10 @@ _RULES = (
     Rule("SAN306", ERROR, "consensus logs diverged",
          "honest validators' decided logs are not prefix-consistent",
          "runtime"),
+    Rule("SAN307", ERROR, "post-recovery state divergence",
+         "a crash-recovered peer's state digest disagrees with honest peers "
+         "at the same height, or the recovered chain fails audit_chain()",
+         "runtime"),
     Rule("SAN401", ERROR, "lock-order cycle",
          "two locks are acquired in opposite orders on different paths; "
          "impose a global acquisition order",

@@ -10,7 +10,7 @@ a mode spec — from the ``REPRO_SANITIZE`` environment variable, the
     repro chaos run standard --sanitize locks
 
 Modes: ``divergence`` (SAN301), ``ledger`` (SAN302–SAN305), ``locks``
-(SAN401/SAN402), ``consensus`` (SAN306).
+(SAN401/SAN402), ``consensus`` (SAN306), ``recovery`` (SAN307).
 
 :func:`install_sanitizers` wires a :class:`Sanitizer` into a channel; the
 peers call back after each endorsement/commit. Findings accumulate instead
@@ -30,7 +30,7 @@ from repro.errors import AnalysisError
 from . import divergence, invariants, lockcheck
 from .rules import Finding
 
-MODES = ("divergence", "ledger", "locks", "consensus")
+MODES = ("divergence", "ledger", "locks", "consensus", "recovery")
 
 
 def parse_modes(spec: str) -> frozenset[str]:
@@ -134,6 +134,54 @@ class Sanitizer:
         with self._mutex:
             if "ledger" in self.modes:
                 self._checks["ledger"] += 1
+            self._findings.extend(found)
+
+    # -- recovery (called by repro.storage.persistence) --------------------
+
+    def note_recovery(self, peer_name: str, resume_height: int) -> None:
+        """A peer was wiped and is about to re-commit from *resume_height*:
+        reset the SAN304 height expectation so checkpoint-based replay is
+        not flagged as a height regression."""
+        with self._mutex:
+            self._expected_heights[peer_name] = resume_height
+
+    def check_recovery(self, peer, channel) -> None:
+        """SAN307: a recovered peer must be indistinguishable from an honest
+        one — ``state_digest`` parity with every online peer at the same
+        height, and a clean full-chain ``audit_chain()``."""
+        if "recovery" not in self.modes:
+            return
+        from repro.fabric.snapshot import state_digest
+        from repro.obs.explorer import LedgerExplorer
+
+        found: list[Finding] = []
+        digest = state_digest(peer.world)
+        height = peer.ledger.height
+        for other in channel.peers.values():
+            if other is peer or not other.online or other.ledger.height != height:
+                continue
+            if state_digest(other.world) != digest:
+                found.append(
+                    Finding.for_rule(
+                        "SAN307", f"recovery:{peer.name}", height, 0,
+                        f"recovered peer {peer.name} diverges from "
+                        f"{other.name} at height {height} "
+                        f"({digest[:16]}… != {state_digest(other.world)[:16]}…)",
+                    )
+                )
+                break
+        audit = LedgerExplorer(channel).audit_chain(offchain=False)
+        if not audit.ok:
+            first = audit.findings[0]
+            found.append(
+                Finding.for_rule(
+                    "SAN307", f"recovery:{peer.name}", height, 0,
+                    f"audit_chain failed after recovery of {peer.name}: "
+                    f"{first.check}: {first.detail}",
+                )
+            )
+        with self._mutex:
+            self._checks["recovery"] += 1
             self._findings.extend(found)
 
     # -- end of run --------------------------------------------------------

@@ -2,7 +2,9 @@
 
 Faults (:mod:`repro.chaos.faults`) are frozen specs — node crash/restart,
 peer offline/online, validator crash, message drop/delay/duplicate,
-partition + heal, silent block corruption — applied on a cycle schedule by
+partition + heal, silent block corruption, amnesia crashes against
+durable storage, WAL disk faults, orderer crashes — applied on a cycle
+schedule by
 :class:`repro.chaos.scenario.ChaosScenario` against a live framework. All
 randomness flows from :func:`repro.util.rng.rng_for` streams, so a seed
 fully determines the fault schedule *and* the recovery trace, and
@@ -12,7 +14,9 @@ span and a ``chaos_faults_total{kind=...}`` counter.
 """
 
 from repro.chaos.faults import (
+    AmnesiaCrash,
     CorruptRandomBlock,
+    DiskFault,
     Fault,
     HealPartition,
     IpfsNodeCrash,
@@ -20,6 +24,7 @@ from repro.chaos.faults import (
     MessageChaosOff,
     MessageChaosOn,
     NetChaosInjector,
+    OrdererCrash,
     Partition,
     PeerOffline,
     PeerOnline,
@@ -42,6 +47,9 @@ __all__ = [
     "Partition",
     "HealPartition",
     "CorruptRandomBlock",
+    "AmnesiaCrash",
+    "DiskFault",
+    "OrdererCrash",
     "NetChaosInjector",
     "ChaosScenario",
     "ChaosReport",

@@ -207,6 +207,76 @@ class HealPartition(Fault):
 
 
 @dataclass(frozen=True)
+class AmnesiaCrash(Fault):
+    """Kill a peer for real: all in-memory state is lost, the unsynced WAL
+    suffix is gone (optionally leaving a torn frame), and the node restarts
+    from its durable store — checkpoint adoption plus WAL replay, falling
+    back to verified state transfer when the WAL is damaged.
+
+    Requires a durability-enabled framework (``FrameworkConfig.durability``);
+    without one the fault is a no-op, because an in-memory "crash" that
+    preserves state would be a lie.
+    """
+
+    peer_name: str = ""
+    torn_write: bool = False
+
+    def inject(self, framework, rng):
+        manager = getattr(framework, "durability", None)
+        if manager is None:
+            return "no-op (durability disabled)"
+        outcome = manager.crash_and_recover(self.peer_name, torn=self.torn_write)
+        return f"{self.peer_name} {outcome.detail()}"
+
+
+@dataclass(frozen=True)
+class DiskFault(Fault):
+    """Damage a peer's durable WAL in place: ``truncate`` loses the tail
+    sectors, ``corrupt`` flips bits under an intact frame header (detected
+    by checksum on the next recovery, which then falls back to verified
+    state transfer). Damage is latent — it only bites when the node next
+    crashes and tries to recover.
+    """
+
+    peer_name: str = ""
+    mode: str = "corrupt"  # "corrupt" | "truncate"
+
+    def inject(self, framework, rng):
+        manager = getattr(framework, "durability", None)
+        if manager is None:
+            return "no-op (durability disabled)"
+        return f"{self.peer_name} {manager.damage_wal(self.peer_name, self.mode)}"
+
+
+@dataclass(frozen=True)
+class OrdererCrash(Fault):
+    """Crash the ordering service: transactions queued but not yet cut into
+    a consensus batch are silently lost (and counted in
+    ``txs_dropped_total{reason="orderer_crash"}``); clients must resubmit
+    through the resilience retry path. Decided batches survive — they are
+    journaled synchronously to the orderer's durable store when durability
+    is enabled.
+    """
+
+    def inject(self, framework, rng):
+        manager = getattr(framework, "durability", None)
+        if manager is not None:
+            dropped = manager.crash_orderer()
+            return f"dropped {len(dropped)} queued tx(s)"
+        orderer = framework.channel.orderer
+        if not hasattr(orderer, "drop_queued"):
+            return "no-op (orderer has no queue)"
+        from repro.obs.metrics import get_registry
+
+        dropped = orderer.drop_queued()
+        if dropped:
+            get_registry().counter(
+                "txs_dropped_total", {"reason": "orderer_crash"}
+            ).inc(len(dropped))
+        return f"dropped {len(dropped)} queued tx(s)"
+
+
+@dataclass(frozen=True)
 class CorruptRandomBlock(Fault):
     """Silently flip the bytes of one stored raw block on one online node.
 

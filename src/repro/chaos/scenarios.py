@@ -9,11 +9,14 @@ zero data loss.
 from __future__ import annotations
 
 from repro.chaos.faults import (
+    AmnesiaCrash,
     CorruptRandomBlock,
+    DiskFault,
     HealPartition,
     IpfsNodeCrash,
     IpfsNodeRestart,
     MessageChaosOn,
+    OrdererCrash,
     Partition,
     PeerOffline,
     PeerOnline,
@@ -115,11 +118,50 @@ def churn(seed: int = 0, n_cycles: int = 40) -> ChaosScenario:
     )
 
 
+def crash_recovery(seed: int = 0, n_cycles: int = 40) -> ChaosScenario:
+    """Real crashes against durable storage: amnesia restarts replay the
+    WAL from the last checkpoint; damaged WALs force verified state
+    transfer; an orderer crash drops queued-but-uncut transactions."""
+    config = FrameworkConfig(
+        consensus="bft",
+        peers_per_org=2,
+        n_ipfs_nodes=3,
+        max_batch_size=4,
+        resilience_seed=seed,
+        durability=True,
+        checkpoint_interval=8,
+        wal_sync_every=2,
+    )
+    return ChaosScenario(
+        name="crash_recovery",
+        config=config,
+        n_cycles=n_cycles,
+        seed=seed,
+        faults=[
+            # Plain amnesia: checkpoint + WAL replay brings the peer back.
+            AmnesiaCrash(at_cycle=6, peer_name="peer1.org1"),
+            # Power cut mid-write: a torn frame the reader must drop.
+            AmnesiaCrash(at_cycle=12, peer_name="peer2.org2", torn_write=True),
+            # Latent media corruption, then a crash: checksum failure on
+            # recovery forces verified state transfer from honest peers.
+            DiskFault(at_cycle=18, peer_name="peer1.org1", mode="corrupt"),
+            AmnesiaCrash(at_cycle=19, peer_name="peer1.org1"),
+            # Orderer amnesia: queued txs are dropped (and counted).
+            OrdererCrash(at_cycle=24),
+            # Lost tail sectors read as a torn tail: truncated replay,
+            # the rest caught up via block delivery.
+            DiskFault(at_cycle=28, peer_name="peer3.org2", mode="truncate"),
+            AmnesiaCrash(at_cycle=29, peer_name="peer3.org2"),
+        ],
+    )
+
+
 SCENARIOS = {
     "standard": standard,
     "corruption": corruption,
     "partition": partition,
     "churn": churn,
+    "crash_recovery": crash_recovery,
 }
 
 

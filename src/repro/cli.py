@@ -124,7 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "verify the expected fire→resolve lifecycle (CI health gate)")
     chaos_run.add_argument("--sanitize", default="", metavar="MODES",
                            help="enable runtime sanitizers for the run: 'all' or a comma "
-                                "list of divergence,ledger,locks,consensus")
+                                "list of divergence,ledger,locks,consensus,recovery")
     chaos_sub.add_parser("list", help="list available scenarios")
 
     lint = sub.add_parser(

@@ -420,6 +420,21 @@ class BftReplica(NetNode):
         )
         return hashlib.sha256(canonical_json([list(p) for p in prefix])).hexdigest()
 
+    def log_frontier(self, up_to_seq: int | None = None) -> tuple[int, str]:
+        """Public checkpoint view of the decided log: ``(seq, prefix digest)``.
+
+        With no argument, the frontier is the replica's highest decided
+        sequence. Durable-storage checkpoints persist this pair so a
+        restarted validator can prove its log prefix is the one that was
+        persisted (see :mod:`repro.storage.persistence`).
+        """
+        seq = (
+            up_to_seq
+            if up_to_seq is not None
+            else max((d.seq for d in self.log), default=-1)
+        )
+        return seq, self._log_digest(seq)
+
     def _maybe_checkpoint(self) -> None:
         interval = self.cluster.checkpoint_interval
         if interval <= 0:

@@ -65,9 +65,16 @@ class FrameworkConfig:
     breaker_cooldown_s: float = 0.25
     resilience_seed: int = 0
     # Runtime sanitizer modes (repro.analysis): "" disables, "all" enables
-    # everything, or a comma list of divergence/ledger/locks/consensus.
-    # Combined with the REPRO_SANITIZE environment variable at build time.
+    # everything, or a comma list of
+    # divergence/ledger/locks/consensus/recovery. Combined with the
+    # REPRO_SANITIZE environment variable at build time.
     sanitize: str = ""
+    # Durable node state (repro.storage): when enabled, every peer and the
+    # orderer journal to a simulated DurableStore (WAL + checkpoints), and
+    # crash faults become real amnesia with WAL/checkpoint recovery.
+    durability: bool = False
+    checkpoint_interval: int = 8   # blocks between checkpoints (0 disables)
+    wal_sync_every: int = 1        # fsync the WAL every N blocks
 
 
 class Framework:
@@ -88,8 +95,22 @@ class Framework:
             consensus=cfg.consensus,
             max_batch_size=cfg.max_batch_size,
             n_validators=cfg.n_validators,
+            consensus_checkpoint_interval=(
+                cfg.checkpoint_interval if cfg.durability else 0
+            ),
         )
         self.sanitizer = install_sanitizers(self.channel, spec=cfg.sanitize)
+        # Durable storage attaches before the first invoke so even the
+        # genesis/admin commits are journaled.
+        self.durability = None
+        if cfg.durability:
+            from repro.storage import DurabilityManager
+
+            self.durability = DurabilityManager(
+                self.channel,
+                checkpoint_interval=cfg.checkpoint_interval,
+                wal_sync_every=cfg.wal_sync_every,
+            )
         for chaincode in (
             AdminEnrollmentChaincode(),
             UserRegistrationChaincode(),

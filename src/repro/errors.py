@@ -65,6 +65,21 @@ class DagError(StorageError):
     """Malformed Merkle-DAG node or link structure."""
 
 
+class DurabilityError(StorageError):
+    """Invalid use of the durable-store/WAL layer, or a WAL record that no
+    longer reproduces the outcome it recorded."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A complete WAL frame failed its checksum — the medium lies, and
+    nothing after the bad frame can be trusted; fall back to state transfer."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not complete (no usable donor, or donors at the
+    same height disagree on the state digest)."""
+
+
 # ---------------------------------------------------------------------------
 # Network simulator
 # ---------------------------------------------------------------------------

@@ -466,6 +466,7 @@ class FabricNetwork:
         max_batch_size: int = 1,
         n_validators: int = 4,
         bft_behaviours=None,
+        consensus_checkpoint_interval: int = 0,
     ) -> Channel:
         if name in self.channels:
             raise FabricError(f"channel {name!r} already exists")
@@ -477,6 +478,7 @@ class FabricNetwork:
                 max_batch_size=max_batch_size,
                 clock=self.clock,
                 behaviours=bft_behaviours,
+                checkpoint_interval=consensus_checkpoint_interval,
             )
         else:
             raise FabricError(f"unknown consensus type {consensus!r}")

@@ -103,11 +103,15 @@ class SoloOrderer:
 
     def __init__(self, max_batch_size: int = 1, clock: Clock | None = None) -> None:
         self._cutter = _BatchCutter(max_batch_size, clock or WallClock())
+        # Durability hook (repro.storage.persistence.DurabilityManager).
+        self.journal = None
 
     def submit(self, tx: Transaction) -> None:
         with obs_span("fabric.order") as sp:
             sp.set_attr("orderer", "solo")
             sp.set_attr("tx_id", tx.tx_id)
+            if self.journal is not None:
+                self.journal.record_submit(tx)
             self._cutter.enqueue(tx, rejected=False)
 
     def flush(self) -> None:
@@ -213,8 +217,11 @@ class BftOrderer:
         validator: Callable[[Transaction], bool] | None = None,
         behaviours: dict[str, Behaviour] | None = None,
         network: SimNetwork | None = None,
+        checkpoint_interval: int = 0,
     ) -> None:
         self._cutter = _BatchCutter(max_batch_size, clock or WallClock())
+        # Durability hook (repro.storage.persistence.DurabilityManager).
+        self.journal = None
         self._txs: dict[str, Transaction] = {}
         self._queue: list[str] = []  # tx ids awaiting a consensus instance
         self._decided: set[str] = set()  # batch request ids already enqueued
@@ -240,6 +247,7 @@ class BftOrderer:
             validator=replica_validator,
             behaviours=behaviours,
             on_decision=self._on_decision,
+            checkpoint_interval=checkpoint_interval,
         )
 
     # -- consensus plumbing ---------------------------------------------------
@@ -274,6 +282,10 @@ class BftOrderer:
             self._batch_seq += 1
             sp.set_attr("request_id", request_id)
             self.batches_ordered += 1
+            if self.journal is not None:
+                self.journal.record_batch(
+                    request_id, [self._txs[tx_id] for tx_id in batch]
+                )
             self.cluster.submit(
                 {
                     "tx_ids": list(batch),
@@ -292,8 +304,20 @@ class BftOrderer:
             raise OrderingError(f"transaction {tx.tx_id!r} already submitted")
         self._txs[tx.tx_id] = tx
         self._queue.append(tx.tx_id)
+        if self.journal is not None:
+            self.journal.record_submit(tx)
         if len(self._queue) >= self._cutter.max_batch_size:
             self._order_batch()
+
+    def drop_queued(self) -> list[str]:
+        """Orderer crash-amnesia: transactions submitted but not yet handed
+        to a consensus instance are simply gone. Returns the dropped tx ids
+        (oldest first) so the caller can count and report them — clients
+        must resubmit through the resilience retry path."""
+        dropped, self._queue = self._queue, []
+        for tx_id in dropped:
+            del self._txs[tx_id]
+        return dropped
 
     def flush(self) -> None:
         self._order_batch()

@@ -93,6 +93,9 @@ class Peer:
         # Runtime sanitizer hook (repro.analysis.runtime.Sanitizer); None in
         # normal operation — set by install_sanitizers for checked runs.
         self.sanitizer = None
+        # Durability hook (repro.storage.persistence.DurabilityManager);
+        # None when the run is purely in-memory.
+        self.journal = None
 
     @property
     def org(self) -> str:
@@ -247,6 +250,8 @@ class Peer:
             annotated = self._commit_block_inner(block, consensus_rejected)
             if self.sanitizer is not None:
                 self.sanitizer.check_commit(self, annotated)
+            if self.journal is not None:
+                self.journal.record_commit(self, annotated, consensus_rejected)
             return annotated
 
     def _commit_block_inner(

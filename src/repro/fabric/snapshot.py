@@ -120,6 +120,33 @@ def bootstrap_peer(peer: Peer, snapshot: Snapshot) -> None:
     )
 
 
+def adopt_snapshot(peer: Peer, snapshot: Snapshot) -> int:
+    """Replace a (possibly lagging or damaged) peer's state with a verified
+    snapshot, instead of replaying the chain block by block.
+
+    Unlike :func:`bootstrap_peer` this accepts a non-fresh peer — the
+    revived-node case — but refuses to move a peer *backwards*: adopting a
+    snapshot below the peer's current height would silently discard
+    committed blocks. Returns the number of blocks the peer skipped
+    replaying (snapshot height minus the height it was at). The private
+    side databases are reset; they must be refilled from a same-org peer
+    (see :meth:`repro.storage.persistence.DurabilityManager._adopt_private`).
+    """
+    from repro.fabric.privatedata import PrivateStateStore
+
+    if snapshot.height < peer.ledger.height:
+        raise LedgerError(
+            f"snapshot at height {snapshot.height} is behind peer "
+            f"{peer.name!r} at {peer.ledger.height} — refusing to rewind"
+        )
+    skipped = snapshot.height - peer.ledger.height
+    peer.world = WorldState()
+    peer.ledger = BlockStore()
+    peer.private = PrivateStateStore(org=peer.org, registry=peer.collections)
+    bootstrap_peer(peer, snapshot)  # digest-verified adoption
+    return skipped
+
+
 def states_agree(a: Peer, b: Peer) -> bool:
     """Divergence audit: do two peers hold identical committed state?"""
     return state_digest(a.world) == state_digest(b.world)

@@ -83,8 +83,27 @@ class IpfsCluster:
         its blockstore so a later :meth:`restart_node` brings the data back."""
         self.node(peer_id).set_online(False)
 
-    def restart_node(self, peer_id: str) -> None:
-        self.node(peer_id).set_online(True)
+    def restart_node(self, peer_id: str) -> int:
+        """Bring a node back and fsck its blockstore: every stored block is
+        rehashed against its CID, and blocks that no longer verify (rot
+        while the node was down) are quarantined on the spot. Returns the
+        number of blocks dropped; the replication layer's next repair pass
+        re-fetches clean copies from surviving replicas."""
+        node = self.node(peer_id)
+        node.set_online(True)
+        removed = 0
+        with obs_span("ipfs.restart_rehash") as sp:
+            sp.set_attr("node", peer_id)
+            for cid in sorted(node.blockstore.cids(), key=lambda c: c.encode()):
+                try:
+                    Block.verified(cid, node.blockstore.get(cid).data)
+                except InvalidBlockError:
+                    node.blockstore.delete(cid)
+                    removed += 1
+            sp.set_attr("removed", removed)
+        if removed:
+            get_registry().counter("ipfs_quarantined_blocks_total").inc(removed)
+        return removed
 
     def remove_node(self, peer_id: str) -> None:
         """Take a node out of the swarm (crash/decommission): its blocks

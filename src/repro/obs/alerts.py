@@ -234,6 +234,30 @@ def standard_rules() -> list[AlertRule]:
             for_ticks=2,
             severity="warning",
         ),
+        # Durability SLIs only exist when the framework runs with
+        # durability enabled; elsewhere the signal resolves to None and
+        # the condition is never met, so existing fingerprints hold.
+        AlertRule(
+            name="node_recovered",
+            signal="sli:recovery_rate",
+            op=">",
+            threshold=0,
+            severity="warning",
+        ),
+        AlertRule(
+            name="recovery_replay_lag",
+            signal="sli:recovery_replay_lag",
+            op=">",
+            threshold=0,
+            severity="warning",
+        ),
+        AlertRule(
+            name="wal_damage",
+            signal="sli:wal_damage_rate",
+            op=">",
+            threshold=0,
+            severity="critical",
+        ),
     ]
 
 
@@ -246,6 +270,11 @@ EXPECTED_ALERTS: dict[str, set[str]] = {
         "ipfs_node_down",        # IpfsNodeCrash @5  → IpfsNodeRestart @30
         "fabric_peer_down",      # PeerOffline @8,9  → PeerOnline @33,34
         "consensus_drop_storm",  # MessageChaosOn drop storm @20 → calm @24
+    },
+    "crash_recovery": {
+        "node_recovered",        # AmnesiaCrash @6,12,19,29 → windowed SLI decays
+        "recovery_replay_lag",   # state transfer skips the WAL → lag blocks
+        "wal_damage",            # DiskFault/torn writes → damaged-WAL recoveries
     },
 }
 

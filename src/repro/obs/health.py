@@ -178,6 +178,8 @@ class HealthMonitor:
             self._check_dht(),
             self._check_breakers(),
         ]
+        if getattr(self.framework, "durability", None) is not None:
+            components.append(self._check_durability())
         self.window.update(self._raw_counters())
         slis = self._slis()
         report = HealthReport(tick=self.tick, components=components, slis=slis)
@@ -294,6 +296,21 @@ class HealthMonitor:
             )
         return ComponentHealth("resilience.breakers", HealthStatus.HEALTHY, detail)
 
+    def _check_durability(self) -> ComponentHealth:
+        manager = self.framework.durability
+        stats = manager.stats
+        detail = (
+            f"{stats.checkpoints} checkpoints, {stats.recoveries} recoveries, "
+            f"{stats.wal_damage} damaged WAL(s)"
+        )
+        if stats.full_resyncs:
+            return ComponentHealth(
+                "storage.durability",
+                HealthStatus.DEGRADED,
+                detail + f", {stats.full_resyncs} full resync(s)",
+            )
+        return ComponentHealth("storage.durability", HealthStatus.HEALTHY, detail)
+
     # -- SLIs --------------------------------------------------------------------
 
     def _raw_counters(self) -> dict[str, float]:
@@ -315,6 +332,13 @@ class HealthMonitor:
             out["net_dropped"] = float(
                 stats.dropped_chaos + stats.dropped_rate + stats.dropped_partition
             )
+        manager = getattr(framework, "durability", None)
+        if manager is not None:
+            out["recoveries"] = float(manager.stats.recoveries)
+            out["recovery_replayed_blocks"] = float(manager.stats.replayed_blocks)
+            out["recovery_lag_blocks"] = float(manager.stats.lag_blocks)
+            out["wal_damage"] = float(manager.stats.wal_damage)
+            out["state_transfers"] = float(manager.stats.state_transfers)
         return out
 
     def _slis(self) -> dict[str, float]:
@@ -335,6 +359,15 @@ class HealthMonitor:
                     1 for cid in tracked if self.replication.status(cid).healthy
                 )
                 slis["replication_health"] = healthy / len(tracked)
+        if getattr(self.framework, "durability", None) is not None:
+            # Recovery SLIs are windowed sums (events in the last N ticks),
+            # not rates: a single recovery matters regardless of load.
+            slis["recovery_rate"] = self.window.sum("recoveries")
+            slis["recovery_replay_lag"] = self.window.sum("recovery_lag_blocks")
+            slis["recovery_time_blocks"] = self.window.sum(
+                "recovery_replayed_blocks"
+            ) + self.window.sum("recovery_lag_blocks")
+            slis["wal_damage_rate"] = self.window.sum("wal_damage")
         self._latency_slis(slis)
         return slis
 

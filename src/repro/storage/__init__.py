@@ -1,0 +1,28 @@
+"""repro.storage — simulated durable storage and crash recovery.
+
+See :mod:`repro.storage.durable` for the disk model (synced/unsynced
+tiers, torn writes, injectable media faults) and
+:mod:`repro.storage.persistence` for the WAL/checkpoint manager and the
+recovery ladder (WAL replay -> verified state transfer -> full resync).
+"""
+
+from repro.storage.codec import block_from_doc, block_to_doc, tx_from_doc, tx_to_doc
+from repro.storage.durable import CORRUPT, TRUNCATE, DurableStore
+from repro.storage.persistence import (
+    DurabilityManager,
+    DurabilityStats,
+    RecoveryOutcome,
+)
+
+__all__ = [
+    "CORRUPT",
+    "TRUNCATE",
+    "DurableStore",
+    "DurabilityManager",
+    "DurabilityStats",
+    "RecoveryOutcome",
+    "block_from_doc",
+    "block_to_doc",
+    "tx_from_doc",
+    "tx_to_doc",
+]

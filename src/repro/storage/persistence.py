@@ -1,0 +1,495 @@
+"""Durability manager: WAL + checkpoints per node, and real crash recovery.
+
+One :class:`~repro.storage.durable.DurableStore` per peer (plus one for
+the ordering service) holds:
+
+* ``wal`` — one framed canonical-JSON record per committed block
+  (``{"type": "block", "block": ..., "rejected": [...]}``), synced every
+  ``wal_sync_every`` blocks — so a crash can lose at most the unsynced
+  suffix;
+* ``checkpoint`` — the peer's :class:`~repro.fabric.snapshot.Snapshot`
+  at the last checkpoint height (every ``checkpoint_interval`` blocks),
+  written atomically; the WAL is truncated once the checkpoint covers it;
+* ``private`` — the peer's private-collection side databases at the same
+  height (snapshots cover only public state);
+* ``frontier-<replica>`` — each PBFT validator's decided-log frontier
+  ``{seq, stable, digest}``, so a restarted validator set can prove its
+  log prefix matches what was persisted.
+
+Recovery (:meth:`DurabilityManager.recover_peer`) tries, in order:
+
+1. **WAL replay** — adopt the checkpoint snapshot (digest-verified by
+   :func:`~repro.fabric.snapshot.bootstrap_peer`), then re-commit every
+   WAL block through the normal validation path; a torn tail is dropped.
+2. **Verified state transfer** — on WAL corruption or an unusable
+   checkpoint: take a snapshot from the best online donor, check that
+   *every* online peer at that height agrees on the state digest and
+   head hash (quorum heads), adopt it, and catch up via block delivery.
+3. **Full resync** — last resort with no usable donor snapshot: rejoin
+   empty and let gossip deliver the chain from genesis.
+
+Whatever the path, recovery ends by rebuilding the node's durable state
+(fresh checkpoint, truncated WAL), emitting a ``recovery`` span plus
+metrics, and handing the peer to the SAN307 sanitizer check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DurabilityError,
+    EncodingError,
+    LedgerError,
+    RecoveryError,
+    WalCorruptionError,
+)
+from repro.fabric.gossip import sync_peer
+from repro.fabric.ledger import Block, BlockStore
+from repro.fabric.privatedata import PrivateStateStore
+from repro.fabric.snapshot import (
+    Snapshot,
+    adopt_snapshot,
+    bootstrap_peer,
+    state_digest,
+    take_snapshot,
+)
+from repro.fabric.worldstate import Version, WorldState
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span as obs_span
+from repro.storage.codec import block_from_doc, block_to_doc, tx_to_doc
+from repro.storage.durable import DurableStore
+from repro.util.serialization import canonical_json, from_canonical_json
+
+WAL_LOG = "wal"
+CHECKPOINT_FILE = "checkpoint"
+PRIVATE_FILE = "private"
+
+
+@dataclass
+class DurabilityStats:
+    """Cumulative counters, mirrored into the metrics registry."""
+
+    wal_records: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    replayed_blocks: int = 0
+    caught_up_blocks: int = 0
+    lag_blocks: int = 0
+    state_transfers: int = 0
+    full_resyncs: int = 0
+    wal_damage: int = 0
+    orderer_dropped_txs: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What one recovery did — deterministic, fingerprint-safe."""
+
+    node: str
+    kind: str  # "wal_replay" | "state_transfer" | "full_resync"
+    wal_damage: str  # "" | "torn_tail" | "corrupt" | "invalid"
+    checkpoint_height: int
+    replayed_blocks: int
+    caught_up_blocks: int
+    lag_blocks: int
+    height: int
+
+    def detail(self) -> str:
+        base = (
+            f"{self.kind} ckpt={self.checkpoint_height} "
+            f"replayed={self.replayed_blocks} caught_up={self.caught_up_blocks} "
+            f"lag={self.lag_blocks} height={self.height}"
+        )
+        return base + (f" damage={self.wal_damage}" if self.wal_damage else "")
+
+
+class DurabilityManager:
+    """Owns every node's simulated disk and drives crash recovery."""
+
+    def __init__(
+        self,
+        channel,
+        checkpoint_interval: int = 8,
+        wal_sync_every: int = 1,
+    ) -> None:
+        if checkpoint_interval < 0 or wal_sync_every < 1:
+            raise DurabilityError(
+                "checkpoint_interval must be >= 0 and wal_sync_every >= 1"
+            )
+        self.channel = channel
+        self.checkpoint_interval = checkpoint_interval
+        self.wal_sync_every = wal_sync_every
+        self.stores: dict[str, DurableStore] = {
+            name: DurableStore() for name in channel.peers
+        }
+        self.orderer_store = DurableStore()
+        self.stats = DurabilityStats()
+        self.recovery_log: list[RecoveryOutcome] = []
+        self._replaying: set[str] = set()
+        for peer in channel.peers.values():
+            peer.journal = self
+        if hasattr(channel.orderer, "journal"):
+            channel.orderer.journal = self
+
+    # -- journaling (called from the commit / ordering paths) -----------------
+
+    def record_commit(self, peer, block, consensus_rejected) -> None:
+        """Append one committed block to the peer's WAL; checkpoint on cadence."""
+        if peer.name in self._replaying:
+            return
+        store = self.stores.get(peer.name)
+        if store is None:
+            return
+        store.append(
+            WAL_LOG,
+            canonical_json(
+                {
+                    "type": "block",
+                    "block": block_to_doc(block),
+                    "rejected": sorted(consensus_rejected or ()),
+                }
+            ),
+        )
+        self.stats.wal_records += 1
+        height = peer.ledger.height
+        if height % self.wal_sync_every == 0:
+            store.sync()
+        if self.checkpoint_interval > 0 and height % self.checkpoint_interval == 0:
+            self.checkpoint_peer(peer)
+
+    def record_submit(self, tx) -> None:
+        """A tx entered the orderer queue — deliberately *not* synced: queued
+        but uncut transactions are exactly what an orderer crash loses."""
+        self.orderer_store.append(
+            WAL_LOG, canonical_json({"type": "submit", "tx_id": tx.tx_id})
+        )
+
+    def record_batch(self, request_id: str, txs) -> None:
+        """A batch went to consensus: persist it (synced) with full tx docs."""
+        self.orderer_store.append(
+            WAL_LOG,
+            canonical_json(
+                {
+                    "type": "batch",
+                    "request_id": request_id,
+                    "txs": [tx_to_doc(tx) for tx in txs],
+                }
+            ),
+        )
+        self.orderer_store.sync()
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def checkpoint_peer(self, peer) -> None:
+        """Atomic snapshot of ledger/world/private state; WAL truncated after."""
+        store = self.stores.get(peer.name)
+        if store is None:
+            return
+        snapshot = take_snapshot(peer, self.channel.name)
+        store.write_file(CHECKPOINT_FILE, snapshot.to_bytes())
+        store.write_file(PRIVATE_FILE, canonical_json(self._private_doc(peer)))
+        store.truncate_log(WAL_LOG)
+        store.sync()
+        self.stats.checkpoints += 1
+        get_registry().counter("checkpoints_total").inc()
+        self.checkpoint_validators()
+
+    def checkpoint_validators(self) -> int:
+        """Persist every PBFT replica's decided-log frontier."""
+        cluster = getattr(self.channel.orderer, "cluster", None)
+        if cluster is None:
+            return 0
+        for name in cluster.replica_names:
+            seq, digest = cluster.replicas[name].log_frontier()
+            self.orderer_store.write_file(
+                f"frontier-{name}",
+                canonical_json(
+                    {
+                        "replica": name,
+                        "seq": seq,
+                        "stable": cluster.replicas[name].stable_checkpoint,
+                        "digest": digest,
+                    }
+                ),
+            )
+        self.orderer_store.sync()
+        return len(cluster.replica_names)
+
+    def verify_validator_frontiers(self) -> dict[str, bool]:
+        """Check each persisted frontier digest against the live replica log."""
+        cluster = getattr(self.channel.orderer, "cluster", None)
+        if cluster is None:
+            return {}
+        out: dict[str, bool] = {}
+        for name in cluster.replica_names:
+            raw = self.orderer_store.read_file(f"frontier-{name}")
+            if raw is None:
+                continue
+            doc = from_canonical_json(raw)
+            _, digest = cluster.replicas[name].log_frontier(int(doc["seq"]))
+            out[name] = digest == doc["digest"]
+        return out
+
+    # -- crash + recovery ------------------------------------------------------
+
+    def crash_and_recover(self, peer_name: str, torn: bool = False) -> RecoveryOutcome:
+        """Amnesia crash: lose unsynced disk state and *all* memory, then
+        restart from whatever the durable store still holds."""
+        peer = self._peer(peer_name)
+        self.stores[peer_name].crash(torn=torn)
+        self._wipe(peer)
+        return self.recover_peer(peer_name)
+
+    def damage_wal(self, peer_name: str, mode: str) -> str:
+        """Injected media fault; falls back to the checkpoint file when the
+        synced WAL has nothing to damage (so the fault always bites)."""
+        store = self.stores[self._peer(peer_name).name]
+        detail = store.damage_tail(WAL_LOG, mode)
+        if detail.startswith("no-op"):
+            detail = store.corrupt_file(CHECKPOINT_FILE)
+        return detail
+
+    def recover_peer(self, peer_name: str) -> RecoveryOutcome:
+        """Bring a wiped peer back; see the module docstring for the ladder."""
+        peer = self._peer(peer_name)
+        store = self.stores[peer.name]
+        registry = get_registry()
+        with obs_span("recovery") as sp:
+            sp.set_attr("node", peer.name)
+            damage = ""
+            kind = "wal_replay"
+            ckpt_height = replayed = 0
+            try:
+                records, tail = store.read_log(WAL_LOG)
+                if tail:
+                    damage = "torn_tail"
+                ckpt_height, replayed = self._replay(peer, store, records)
+            except WalCorruptionError:
+                damage, kind = "corrupt", "state_transfer"
+            except (DurabilityError, LedgerError, EncodingError, ValueError):
+                damage, kind = damage or "invalid", "state_transfer"
+            if kind == "state_transfer":
+                ckpt_height = replayed = 0
+                try:
+                    donor = self._state_transfer(peer)
+                    sp.set_attr("donor", donor)
+                    self.stats.state_transfers += 1
+                except RecoveryError:
+                    kind = "full_resync"
+                    self.stats.full_resyncs += 1
+                    self._wipe(peer)
+                    if peer.sanitizer is not None:
+                        peer.sanitizer.note_recovery(peer.name, 0)
+            if damage:
+                self.stats.wal_damage += 1
+                registry.counter("wal_damage_total", {"mode": damage}).inc()
+            caught_up = self._catch_up(peer)
+            height = peer.ledger.height
+            lag = max(0, height - ckpt_height - replayed)
+            outcome = RecoveryOutcome(
+                node=peer.name,
+                kind=kind,
+                wal_damage=damage,
+                checkpoint_height=ckpt_height,
+                replayed_blocks=replayed,
+                caught_up_blocks=caught_up,
+                lag_blocks=lag,
+                height=height,
+            )
+            self.recovery_log.append(outcome)
+            self.stats.recoveries += 1
+            self.stats.replayed_blocks += replayed
+            self.stats.caught_up_blocks += caught_up
+            self.stats.lag_blocks += lag
+            registry.counter("recoveries_total", {"kind": kind}).inc()
+            registry.counter("recovery_replayed_blocks_total").inc(replayed)
+            registry.counter("recovery_lag_blocks_total").inc(lag)
+            sp.set_attr("kind", kind)
+            sp.set_attr("height", height)
+            sp.set_attr("replayed", replayed)
+            sp.set_attr("caught_up", caught_up)
+            sp.set_attr("lag", lag)
+            # Rebuild durable state so the *next* crash restarts from here.
+            self.checkpoint_peer(peer)
+            if peer.sanitizer is not None:
+                peer.sanitizer.check_recovery(peer, self.channel)
+        return outcome
+
+    def crash_orderer(self) -> list[str]:
+        """Orderer amnesia: queued-but-uncut txs are gone (and counted)."""
+        orderer = self.channel.orderer
+        dropped = orderer.drop_queued() if hasattr(orderer, "drop_queued") else []
+        self.orderer_store.crash()
+        if dropped:
+            self.stats.orderer_dropped_txs += len(dropped)
+            get_registry().counter(
+                "txs_dropped_total", {"reason": "orderer_crash"}
+            ).inc(len(dropped))
+        return list(dropped)
+
+    def pending_batches(self) -> dict[str, list[str]]:
+        """Durably recorded batches (request id -> tx ids) from the orderer WAL."""
+        records, _tail = self.orderer_store.read_log(WAL_LOG)
+        out: dict[str, list[str]] = {}
+        for payload in records:
+            doc = from_canonical_json(payload)
+            if doc.get("type") == "batch":
+                out[doc["request_id"]] = [
+                    tx["proposal"]["tx_id"] for tx in doc["txs"]
+                ]
+        return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _peer(self, peer_name: str):
+        try:
+            return self.channel.peers[peer_name]
+        except KeyError:
+            raise DurabilityError(f"unknown peer {peer_name!r}") from None
+
+    @staticmethod
+    def _wipe(peer) -> None:
+        """Amnesia: everything in memory is gone; identity and code survive
+        (they live in config/packages, not node state)."""
+        peer.world = WorldState()
+        peer.ledger = BlockStore()
+        peer.private = PrivateStateStore(org=peer.org, registry=peer.collections)
+        peer.online = True
+
+    def _replay(self, peer, store: DurableStore, records: list[bytes]) -> tuple[int, int]:
+        """Checkpoint adoption + WAL replay through full validation."""
+        ckpt_height = 0
+        raw = store.read_file(CHECKPOINT_FILE)
+        if raw is not None:
+            snapshot = Snapshot.from_bytes(raw)
+            bootstrap_peer(peer, snapshot)  # digest-verified adoption
+            self._restore_private(peer, store)
+            ckpt_height = snapshot.height
+        if peer.sanitizer is not None:
+            peer.sanitizer.note_recovery(peer.name, peer.ledger.height)
+        replayed = 0
+        self._replaying.add(peer.name)
+        try:
+            for payload in records:
+                doc = from_canonical_json(payload)
+                if doc.get("type") != "block":
+                    continue
+                block = block_from_doc(doc["block"])
+                if block.header.number < peer.ledger.height:
+                    continue  # covered by the checkpoint
+                annotated = peer.commit_block(
+                    Block(header=block.header, transactions=block.transactions),
+                    consensus_rejected=frozenset(doc.get("rejected", ())),
+                )
+                if tuple(annotated.validation_codes) != tuple(block.validation_codes):
+                    raise DurabilityError(
+                        f"block {block.header.number} revalidated differently "
+                        f"on replay — WAL record untrustworthy"
+                    )
+                replayed += 1
+        finally:
+            self._replaying.discard(peer.name)
+        return ckpt_height, replayed
+
+    def _state_transfer(self, peer) -> str:
+        """Adopt a digest-verified snapshot agreed on by every at-head donor."""
+        donors = [
+            p
+            for p in self.channel.peers.values()
+            if p.online and p.name != peer.name and p.ledger.height > 0
+        ]
+        if not donors:
+            raise RecoveryError(f"no online donor for state transfer to {peer.name!r}")
+        head = max(d.ledger.height for d in donors)
+        at_head = sorted(
+            (d for d in donors if d.ledger.height == head), key=lambda d: d.name
+        )
+        donor = at_head[0]
+        snapshot = take_snapshot(donor, self.channel.name)
+        for other in at_head[1:]:
+            if (
+                state_digest(other.world) != snapshot.digest
+                or other.ledger.last_hash() != snapshot.last_block_hash
+            ):
+                raise RecoveryError(
+                    f"state-transfer donors disagree at height {head} — "
+                    f"refusing unverifiable snapshot"
+                )
+        adopt_snapshot(peer, snapshot)  # resets partial replay state, verifies digest
+        self._adopt_private(peer, at_head)
+        if peer.sanitizer is not None:
+            peer.sanitizer.note_recovery(peer.name, peer.ledger.height)
+        return donor.name
+
+    def _catch_up(self, peer) -> int:
+        """Block delivery from the best online peer ahead of us."""
+        best = None
+        for other in self.channel.peers.values():
+            if other is peer or not other.online:
+                continue
+            if other.ledger.height <= peer.ledger.height:
+                continue
+            if best is None or (other.ledger.height, other.name) > (
+                best.ledger.height,
+                best.name,
+            ):
+                best = other
+        if best is None:
+            return 0
+        return sync_peer(peer, best, self.channel.rejected_by_block)
+
+    @staticmethod
+    def _private_doc(peer) -> dict:
+        doc: dict[str, list] = {}
+        for collection, store in sorted(peer.private._stores.items()):
+            entries = []
+            for key in store.keys():
+                value = store.get(key)
+                if value is None:
+                    continue
+                version = store.get_version(key)
+                entries.append([key, value.hex(), version.block, version.tx])
+            doc[collection] = entries
+        return doc
+
+    def _restore_private(self, peer, store: DurableStore) -> None:
+        raw = store.read_file(PRIVATE_FILE)
+        if raw is None:
+            return
+        for collection, entries in from_canonical_json(raw).items():
+            if not peer.private.has_collection(collection):
+                continue
+            target = peer.private.store_for(collection)
+            for key, value, block, tx in entries:
+                target.apply_write(
+                    key,
+                    bytes.fromhex(value),
+                    Version(block=int(block), tx=int(tx)),
+                    tx_id="checkpoint-restore",
+                    timestamp=0.0,
+                )
+
+    def _adopt_private(self, peer, donors) -> None:
+        """Private collections can only come from a same-org donor (snapshots
+        cover public state; non-members never hold the plaintext)."""
+        for donor in donors:
+            if donor.org != peer.org:
+                continue
+            for collection, store in sorted(donor.private._stores.items()):
+                target = peer.private.store_for(collection)
+                for key in store.keys():
+                    value = store.get(key)
+                    if value is None:
+                        continue
+                    target.apply_write(
+                        key,
+                        value,
+                        store.get_version(key),
+                        tx_id="state-transfer",
+                        timestamp=0.0,
+                    )
+            return

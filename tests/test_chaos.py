@@ -192,6 +192,82 @@ class TestRecoveryScenarios:
         assert all(not c.degraded for c in report.cycles)
 
 
+class TestCrashRecoveryScenario:
+    """Tentpole acceptance: amnesia crashes, torn writes, WAL corruption and
+    an orderer crash — and the system still loses nothing, deterministically."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        return get_scenario("crash_recovery", seed=0).run(), registry
+
+    def test_zero_data_loss_across_real_crashes(self, run):
+        report, _ = run
+        assert report.data_loss == 0
+        assert report.stored == report.submitted_ok == 40
+
+    def test_both_recovery_kinds_are_exercised(self, run):
+        report, registry = run
+        counters = registry.snapshot()["counters"]
+        assert counters.get('recoveries_total{kind="wal_replay"}', 0) >= 1
+        assert counters.get('recoveries_total{kind="state_transfer"}', 0) >= 1
+        assert counters.get("checkpoints_total", 0) >= 1
+        assert counters.get('chaos_faults_total{kind="AmnesiaCrash"}', 0) == 4
+
+    def test_wal_damage_is_counted_by_mode(self, run):
+        _, registry = run
+        counters = registry.snapshot()["counters"]
+        damage = sum(
+            v for k, v in counters.items() if k.startswith("wal_damage_total")
+        )
+        assert damage >= 2  # the two DiskFaults must both bite
+
+    def test_recovery_details_enter_the_fingerprint(self, run):
+        report, _ = run
+        recovery_cycles = [
+            c for c in report.cycles
+            if any(f.startswith("AmnesiaCrash:") for f in c.faults)
+        ]
+        assert len(recovery_cycles) == 4
+        details = " ".join(f for c in recovery_cycles for f in c.faults)
+        assert "wal_replay" in details
+        assert "state_transfer" in details
+
+    def test_same_seed_same_fingerprint(self):
+        fingerprints = []
+        for _ in range(2):
+            set_registry(MetricsRegistry())
+            report = get_scenario("crash_recovery", seed=0, n_cycles=21).run()
+            fingerprints.append(report.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_runs_clean_under_all_sanitizers(self):
+        import dataclasses
+
+        from repro.analysis.runtime import active_sanitizer
+
+        set_registry(MetricsRegistry())
+        scenario = get_scenario("crash_recovery", seed=0, n_cycles=21)
+        scenario.config = dataclasses.replace(scenario.config, sanitize="all")
+        report = scenario.run()
+        assert report.data_loss == 0
+        san_report = active_sanitizer().finalize()
+        assert san_report.ok, san_report.render()
+        assert san_report.checks["recovery"] >= 1
+
+    def test_alert_lifecycle_fires_and_resolves(self):
+        from repro.obs.alerts import ChaosAlertProbe
+
+        set_registry(MetricsRegistry())
+        probe = ChaosAlertProbe()
+        scenario = get_scenario("crash_recovery", seed=0)
+        scenario.on_cycle = probe
+        scenario.run()
+        ok, problems = probe.verify("crash_recovery")
+        assert ok, problems
+
+
 class TestScenarioRegistry:
     def test_unknown_scenario_is_a_typed_error(self):
         with pytest.raises(ReproError, match="unknown chaos scenario"):

@@ -8,6 +8,7 @@ from repro.errors import LedgerError
 from repro.fabric import Peer
 from repro.fabric.snapshot import (
     Snapshot,
+    adopt_snapshot,
     bootstrap_peer,
     state_digest,
     states_agree,
@@ -118,6 +119,54 @@ class TestSnapshotRoundtrip:
         bootstrap_peer(fresh, snap)
         with pytest.raises(LedgerError, match="predates"):
             fresh.ledger.block(0)
+
+    def test_lagging_revived_peer_adopts_snapshot_instead_of_full_replay(self):
+        """A peer offline through many commits rejoins via verified snapshot
+        adoption — its store starts at the checkpoint, not at genesis."""
+        net, channel, alice = make_network(peers_per_org=2)
+        lagger = channel.peers["peer1.org1"]
+        lagger.online = False
+        for i in range(6):
+            channel.invoke(alice, "kv", "put", [f"while-away-{i}", str(i)])
+        source = channel.peers["peer0.org1"]
+        assert lagger.ledger.height < source.ledger.height
+
+        lagger.online = True
+        skipped = adopt_snapshot(lagger, take_snapshot(source, channel.name))
+        assert skipped == lagger.ledger.height == source.ledger.height
+        assert states_agree(lagger, source)
+        # The adopted store is checkpoint-based: pre-snapshot blocks were
+        # never replayed, so querying one is a typed error — the proof this
+        # was adoption, not a from-genesis replay.
+        with pytest.raises(LedgerError, match="predates"):
+            lagger.ledger.block(0)
+        # And the peer keeps committing from the checkpoint forward.
+        result = channel.invoke(alice, "kv", "put", ["after-adopt", "yes"])
+        assert result.ok
+        assert lagger.world.get("after-adopt") == b"yes"
+
+    def test_adopt_rejects_tampered_snapshot(self):
+        net, channel, alice = self.make_populated()
+        source = next(iter(channel.peers.values()))
+        snap = take_snapshot(source, channel.name)
+        tampered = Snapshot(
+            channel=snap.channel,
+            height=snap.height,
+            last_block_hash=snap.last_block_hash,
+            entries=snap.entries[:-1],
+            digest=snap.digest,
+        )
+        victim = Peer("victim", source.identity, net.msp_registry)
+        with pytest.raises(LedgerError, match="digest mismatch"):
+            adopt_snapshot(victim, tampered)
+
+    def test_adopt_refuses_to_rewind_a_peer_past_the_snapshot(self):
+        net, channel, alice = self.make_populated()
+        peers = list(channel.peers.values())
+        snap = take_snapshot(peers[0], channel.name)
+        channel.invoke(alice, "kv", "put", ["newer", "v"])
+        with pytest.raises(LedgerError, match="rewind"):
+            adopt_snapshot(peers[0], snap)
 
     def test_mvcc_versions_survive_bootstrap(self):
         """Read-version checks must work against snapshot-loaded state."""
