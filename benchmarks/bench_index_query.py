@@ -1,0 +1,282 @@
+"""Index-query benchmark: sublinear retrieval vs full-scan, with parity.
+
+The tentpole acceptance bar for the authenticated secondary index
+(:mod:`repro.index`): equality queries answered through the index must stay
+sublinear in ledger height while the chaincode full scan grows linearly,
+and the two routes must return byte-identical answers.
+
+Two tiers:
+
+* **Synthetic scaling** — world states of growing height (up to 10^5
+  records in the full run) with the camera population growing in
+  proportion, so one camera's posting stays a fixed ~100 records. The
+  ``indexed_rows_examined`` series is EXACT and must stay flat while
+  ``scan_rows_examined`` is EXACT and equals the record count — the
+  sublinearity evidence is in deterministic counts, with wall-clock
+  series (TIMING) alongside.
+* **Fabric parity** — a real deployment: every query shape runs through
+  both the index route and the chaincode scan route and the answers must
+  be byte-identical; verified answers' Merkle membership proofs must
+  check out against the epoch root. Both counts are EXACT.
+
+Runnable standalone for CI (``python benchmarks/bench_index_query.py
+--quick``): smaller sizes, same gates, emits ``index_query_quick``.
+"""
+
+import time
+
+from repro.bench import emit, emit_json, format_table
+from repro.fabric.worldstate import Version, WorldState
+from repro.index import PeerIndex, verify_answer_records
+from repro.util.serialization import canonical_json
+
+FULL_SIZES = (2_000, 20_000, 100_000)
+QUICK_SIZES = (1_000, 8_000)
+RECORDS_PER_CAMERA = 100
+TXS_PER_BLOCK = 16
+CLASSES = ("car", "truck", "bus", "motorcycle")
+
+
+# -- tier 1: synthetic scaling -------------------------------------------------
+
+
+def _build_world(n: int) -> tuple[WorldState, int]:
+    """A committed world state of ``n`` data records, ``n / 100`` cameras."""
+    world = WorldState()
+    cameras = max(4, n // RECORDS_PER_CAMERA)
+    for i in range(n):
+        cam = f"cam-{i % cameras:05d}"
+        entry_id = f"e{i:07d}"
+        record = {
+            "entry_id": entry_id,
+            "cid": f"bafy-{i:07d}",
+            "data_hash": "0" * 64,
+            "metadata": {
+                "camera_id": cam,
+                "timestamp": float(i),
+                "detections": [{"vehicle_class": CLASSES[i % len(CLASSES)]}],
+            },
+            "source_id": cam,
+            "uploader": cam,
+            "uploader_org": "org1",
+        }
+        world.apply_write(
+            f"data:{entry_id}",
+            canonical_json(record),
+            Version(block=i // TXS_PER_BLOCK + 1, tx=i % TXS_PER_BLOCK),
+            tx_id=f"tx-{i}",
+            timestamp=0.0,
+        )
+    height = (n - 1) // TXS_PER_BLOCK + 2
+    return world, height
+
+
+def _scan(world: WorldState, camera: str) -> list[dict]:
+    import json
+
+    out = []
+    for _, raw in world.range("data:", "data:\x7f"):
+        record = json.loads(raw)
+        if record["metadata"]["camera_id"] == camera:
+            out.append(record)
+    return out
+
+
+def _indexed(world: WorldState, index: PeerIndex, camera: str) -> list[dict]:
+    import json
+
+    return [
+        json.loads(world.get(f"data:{eid}"))
+        for eid in index.lookup("camera", camera)
+    ]
+
+
+def _scaling_round(n: int) -> dict:
+    world, height = _build_world(n)
+    index = PeerIndex.from_world(world, height)
+    # The probe camera sits mid-population so its posting is full-sized.
+    cameras = max(4, n // RECORDS_PER_CAMERA)
+    camera = f"cam-{cameras // 2:05d}"
+
+    t0 = time.perf_counter()
+    via_index = _indexed(world, index, camera)
+    indexed_ms = (time.perf_counter() - t0) * 1e3
+    t0 = time.perf_counter()
+    via_scan = _scan(world, camera)
+    scan_ms = (time.perf_counter() - t0) * 1e3
+
+    assert canonical_json(sorted(via_index, key=lambda r: r["entry_id"])) == (
+        canonical_json(sorted(via_scan, key=lambda r: r["entry_id"]))
+    ), f"index answer diverged from scan at n={n}"
+    proof = index.prove("camera", camera)
+    verified = verify_answer_records(via_index, (proof,), index.root())
+    assert verified == len(via_index)
+    return {
+        "n": n,
+        "indexed_rows_examined": float(len(via_index)),
+        "scan_rows_examined": float(n),
+        "indexed_ms": indexed_ms,
+        "scan_ms": scan_ms,
+        "proof_verified_records": float(verified),
+    }
+
+
+# -- tier 2: fabric parity -----------------------------------------------------
+
+_PARITY_QUERIES = (
+    "source_id = 'par-cam-1'",
+    "vehicle_class = 'truck'",
+    "metadata.timestamp >= 0 AND metadata.timestamp < 1800",
+    "vehicle_class = 'car' AND metadata.timestamp >= 600",
+    "color = 'red'",  # no index route: exercises the fallback
+)
+
+
+def _parity_round() -> dict:
+    from repro.core import Framework, FrameworkConfig
+    from repro.query import QueryEngine
+    from repro.trust import SourceTier
+
+    framework = Framework(FrameworkConfig(consensus="solo"))
+    identities = {}
+    for cam in ("par-cam-1", "par-cam-2"):
+        identities[cam] = framework.register_source(cam, tier=SourceTier.TRUSTED)
+    for i in range(12):
+        cam = f"par-cam-{i % 2 + 1}"
+        meta = {
+            "source_id": cam,
+            "camera_id": cam,
+            "timestamp": float(i * 200),
+            "detections": [{"vehicle_class": CLASSES[i % len(CLASSES)]}],
+        }
+        framework.channel.invoke(
+            identities[cam],
+            "data_upload",
+            "add_data",
+            [f"bafy-par-{i}", "0" * 64, canonical_json(meta).decode()],
+        )
+    engine = QueryEngine(
+        channel=framework.channel,
+        cluster=framework.ipfs,
+        identity=identities["par-cam-1"],
+        cache_enabled=False,
+    )
+    parity_queries = 0
+    proofs_verified = 0
+    for text in _PARITY_QUERIES:
+        engine.use_index = True
+        indexed = [r.record for r in engine.run(text)]
+        engine.use_index = False
+        scanned = [r.record for r in engine.run(text)]
+        assert canonical_json(indexed) == canonical_json(scanned), (
+            f"parity violation for {text!r}"
+        )
+        parity_queries += 1
+    engine.use_index = True
+    for text in _PARITY_QUERIES[:4]:
+        answer = engine.run_verified(text)
+        answer.verify()
+        proofs_verified += len(answer.proofs)
+    return {
+        "parity_queries": float(parity_queries),
+        "proofs_verified": float(proofs_verified),
+    }
+
+
+# -- harness ---------------------------------------------------------------------
+
+
+def _run(sizes) -> dict:
+    rounds = [_scaling_round(n) for n in sizes]
+    series = {}
+    for r in rounds:
+        n = int(r["n"])
+        for key in ("indexed_rows_examined", "scan_rows_examined",
+                    "indexed_ms", "scan_ms", "proof_verified_records"):
+            name = f"{key}_n{n}"
+            if key.endswith("_ms"):
+                # _ms suffix keeps the trend taxonomy classifying it TIMING.
+                name = f"{key[:-3]}_n{n}_ms"
+            series[name] = [r[key]]
+    parity = _parity_round()
+    series["parity_queries"] = [parity["parity_queries"]]
+    series["proofs_verified"] = [parity["proofs_verified"]]
+    return series
+
+
+def _gate(series: dict, sizes) -> None:
+    lo, hi = sizes[0], sizes[-1]
+    examined_lo = series[f"indexed_rows_examined_n{lo}"][0]
+    examined_hi = series[f"indexed_rows_examined_n{hi}"][0]
+    # Sublinearity, on exact counts: the chain grew hi/lo times, the
+    # indexed route's work did not grow at all (fixed posting size).
+    assert examined_hi == examined_lo, (
+        f"indexed work grew with chain height: {examined_lo} -> {examined_hi}"
+    )
+    assert series[f"scan_rows_examined_n{hi}"][0] == float(hi)
+    # Loose timing sanity at the largest size (counts are the real gate).
+    assert series[f"indexed_n{hi}_ms"][0] < series[f"scan_n{hi}_ms"][0], (
+        "indexed route slower than a full scan at the largest size"
+    )
+    assert series["parity_queries"][0] == float(len(_PARITY_QUERIES))
+
+
+def _emit(series: dict, sizes, name: str) -> None:
+    rows = []
+    for n in sizes:
+        rows.append([
+            n,
+            int(series[f"indexed_rows_examined_n{n}"][0]),
+            int(series[f"scan_rows_examined_n{n}"][0]),
+            f"{series[f'indexed_n{n}_ms'][0]:.2f}",
+            f"{series[f'scan_n{n}_ms'][0]:.2f}",
+        ])
+    text = format_table(
+        f"Indexed vs full-scan retrieval ({RECORDS_PER_CAMERA} records/camera)",
+        ["records", "index rows", "scan rows", "index ms", "scan ms"],
+        rows,
+    )
+    emit(name, text)
+    emit_json(
+        name,
+        series,
+        meta={
+            "sizes": list(sizes),
+            "records_per_camera": RECORDS_PER_CAMERA,
+            "parity_queries": len(_PARITY_QUERIES),
+        },
+        seed=0,
+    )
+
+
+def test_index_query(benchmark):
+    series = benchmark.pedantic(lambda: _run(QUICK_SIZES), rounds=1, iterations=1)
+    _emit(series, QUICK_SIZES, "index_query_quick")
+    _gate(series, QUICK_SIZES)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for the CI index gate (emits index_query_quick)",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    series = _run(sizes)
+    _emit(series, sizes, "index_query_quick" if args.quick else "index_query")
+    _gate(series, sizes)
+    hi = sizes[-1]
+    print(
+        f"gate OK: indexed route examined "
+        f"{int(series[f'indexed_rows_examined_n{hi}'][0])} rows at height "
+        f"{hi} (scan: {hi}), {int(series['parity_queries'][0])} queries "
+        f"byte-identical across routes, "
+        f"{int(series['proofs_verified'][0])} proofs verified"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -99,6 +99,14 @@ _RULES = (
          "a crash-recovered peer's state digest disagrees with honest peers "
          "at the same height, or the recovered chain fails audit_chain()",
          "runtime"),
+    Rule("SAN308", ERROR, "secondary index diverged from world state",
+         "a peer's block-incremental index does not match an index rebuilt "
+         "from its world state at the same height",
+         "runtime"),
+    Rule("SAN309", ERROR, "indexed query answers diverge from scan answers",
+         "the authenticated index route and the chaincode scan route "
+         "returned different answers for the same query",
+         "runtime"),
     Rule("SAN401", ERROR, "lock-order cycle",
          "two locks are acquired in opposite orders on different paths; "
          "impose a global acquisition order",

@@ -10,7 +10,8 @@ a mode spec — from the ``REPRO_SANITIZE`` environment variable, the
     repro chaos run standard --sanitize locks
 
 Modes: ``divergence`` (SAN301), ``ledger`` (SAN302–SAN305), ``locks``
-(SAN401/SAN402), ``consensus`` (SAN306), ``recovery`` (SAN307).
+(SAN401/SAN402), ``consensus`` (SAN306), ``recovery`` (SAN307), ``index``
+(SAN308/SAN309).
 
 :func:`install_sanitizers` wires a :class:`Sanitizer` into a channel; the
 peers call back after each endorsement/commit. Findings accumulate instead
@@ -30,7 +31,7 @@ from repro.errors import AnalysisError
 from . import divergence, invariants, lockcheck
 from .rules import Finding
 
-MODES = ("divergence", "ledger", "locks", "consensus", "recovery")
+MODES = ("divergence", "ledger", "locks", "consensus", "recovery", "index")
 
 
 def parse_modes(spec: str) -> frozenset[str]:
@@ -131,9 +132,74 @@ class Sanitizer:
                         )
                     )
                 self._expected_heights[peer.name] = block.number + 1
+        if "index" in self.modes:
+            found.extend(self._check_index(peer, block.number))
         with self._mutex:
             if "ledger" in self.modes:
                 self._checks["ledger"] += 1
+            if "index" in self.modes:
+                self._checks["index"] += 1
+            self._findings.extend(found)
+
+    def _check_index(self, peer, at: int) -> list[Finding]:
+        """SAN308: the peer's block-incremental index must equal an index
+        rebuilt from scratch out of its world state at the same height.
+
+        Skipped when tombstones exist — deleted records are invisible to
+        the world state, so a from-scratch rebuild legitimately differs
+        (see :meth:`repro.index.PeerIndex.from_world`).
+        """
+        index = getattr(peer, "index", None)
+        if index is None or index.tombstones:
+            return []
+        if index.height != peer.ledger.height:
+            return [
+                Finding.for_rule(
+                    "SAN308", f"index:{peer.name}", at, 0,
+                    f"{peer.name}'s index is at height {index.height} but "
+                    f"its ledger is at {peer.ledger.height}",
+                )
+            ]
+        from repro.index import PeerIndex
+
+        rebuilt = PeerIndex.from_world(
+            peer.world,
+            peer.ledger.height,
+            trusted_threshold=index.trusted_threshold,
+            min_threshold=index.min_threshold,
+        )
+        if rebuilt.root() != index.root():
+            return [
+                Finding.for_rule(
+                    "SAN308", f"index:{peer.name}", at, 0,
+                    f"{peer.name}'s incremental index root "
+                    f"{index.root()[:16]}… disagrees with a from-scratch "
+                    f"rebuild {rebuilt.root()[:16]}… at height "
+                    f"{peer.ledger.height}",
+                )
+            ]
+        return []
+
+    # -- query parity (called by repro.query.executor) ----------------------
+
+    def check_query_parity(self, description: str, indexed: list, scanned: list) -> None:
+        """SAN309: the index route and the chaincode scan route must return
+        byte-identical answers for the same query."""
+        if "index" not in self.modes:
+            return
+        from repro.util.serialization import canonical_json
+
+        found: list[Finding] = []
+        if canonical_json(indexed) != canonical_json(scanned):
+            found.append(
+                Finding.for_rule(
+                    "SAN309", "query", 0, 0,
+                    f"indexed answer ({len(indexed)} rows) diverges from "
+                    f"scan answer ({len(scanned)} rows) for {description}",
+                )
+            )
+        with self._mutex:
+            self._checks["index"] += 1
             self._findings.extend(found)
 
     # -- recovery (called by repro.storage.persistence) --------------------
@@ -180,8 +246,14 @@ class Sanitizer:
                     f"{first.check}: {first.detail}",
                 )
             )
+        if "index" in self.modes:
+            # A recovered peer's rebuilt/restored index must also agree
+            # with a from-scratch rebuild of its recovered world state.
+            found.extend(self._check_index(peer, height))
         with self._mutex:
             self._checks["recovery"] += 1
+            if "index" in self.modes:
+                self._checks["index"] += 1
             self._findings.extend(found)
 
     # -- end of run --------------------------------------------------------

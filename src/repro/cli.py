@@ -51,6 +51,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("text", help="query text, e.g. \"vehicle_class = 'truck'\"")
     query.add_argument("--videos", type=int, default=3)
     query.add_argument("--fetch", action="store_true", help="also fetch raw bytes from IPFS")
+    query.add_argument(
+        "--verify",
+        action="store_true",
+        help="attach Merkle membership proofs and verify the answer against "
+        "the index epoch root (needs an index-routable predicate)",
+    )
 
     export = sub.add_parser("export", help="export a demo dataset slice as a signed bundle")
     export.add_argument("out", help="output file for the bundle")
@@ -283,6 +289,20 @@ def _cmd_query(args) -> int:
         print(f"  {row.entry_id[:12]}…  {meta.get('camera_id', '?'):<10} "
               f"t={meta.get('timestamp', 0):>10.1f}  "
               f"detections={len(meta.get('detections', []))}{extra}")
+    if args.verify:
+        from repro.errors import MerkleProofError, QueryError
+
+        try:
+            answer = client.engine.run_verified(args.text)
+            checked = answer.verify()
+        except (QueryError, MerkleProofError) as exc:
+            print(f"verify : FAIL — {exc}")
+            return 1
+        print(
+            f"verify : OK — {checked} record(s) verified by "
+            f"{len(answer.proofs)} proof(s) against epoch root "
+            f"{answer.root[:16]}… at height {answer.height}"
+        )
     return 0
 
 

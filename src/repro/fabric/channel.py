@@ -92,6 +92,8 @@ class Channel:
         self.rejected_by_block: dict[int, frozenset[str]] = {}
         # Runtime sanitizer (repro.analysis); propagated to joining peers.
         self.sanitizer = None
+        # Index manager (repro.index.IndexManager); equips joining peers.
+        self.indexing = None
         self._definitions: list[ChaincodeDefinition] = []
         self._results: dict[str, TxResult] = {}
         self._nonce = itertools.count()
@@ -105,6 +107,8 @@ class Channel:
         self.peers[peer.name] = peer
         if self.sanitizer is not None:
             peer.sanitizer = self.sanitizer
+        if self.indexing is not None:
+            self.indexing.attach(peer)
         for definition in self._definitions:
             peer.install_chaincode(definition)
 

@@ -96,6 +96,9 @@ class Peer:
         # Durability hook (repro.storage.persistence.DurabilityManager);
         # None when the run is purely in-memory.
         self.journal = None
+        # Secondary index (repro.index.PeerIndex); attached by an
+        # IndexManager, advanced after each block's writes are applied.
+        self.index = None
 
     @property
     def org(self) -> str:
@@ -283,6 +286,10 @@ class Peer:
                     timestamp=block.header.timestamp,
                 )
             self._apply_private(tx, version, block.header.timestamp)
+        # Index after ledger append + state writes: a block the ledger
+        # rejects must never advance the index.
+        if self.index is not None:
+            self.index.apply_block(annotated)
         self.stats.blocks_committed += 1
         self.stats.txs_valid += len(staged)
         self.stats.txs_invalid += len(block.transactions) - len(staged)

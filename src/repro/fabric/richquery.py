@@ -45,12 +45,20 @@ def _compare(op: str, actual: Any, expected: Any) -> bool:
             return actual < expected
         if op == "$lte":
             return actual <= expected
-        if op == "$in":
-            return actual in expected
-        if op == "$nin":
-            return actual not in expected
+        if op in ("$in", "$nin"):
+            # CouchDB requires an array operand; a scalar (or a string,
+            # whose `in` would do substring matching) is a malformed
+            # selector, not a non-match.
+            if not isinstance(expected, (list, tuple)):
+                raise QueryError(f"{op} needs an array operand, got {type(expected).__name__}")
+            return (actual in expected) if op == "$in" else (actual not in expected)
         if op == "$regex":
-            return isinstance(actual, str) and re.search(expected, actual) is not None
+            if not isinstance(actual, str):
+                return False
+            try:
+                return re.search(expected, actual) is not None
+            except re.error as exc:
+                raise QueryError(f"invalid $regex pattern {expected!r}: {exc}") from exc
     except TypeError:
         return False  # cross-type comparisons never match
     raise QueryError(f"unknown selector operator {op!r}")

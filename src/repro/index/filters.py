@@ -1,0 +1,68 @@
+"""Per-block posting filters: deterministic blooms over attribute tokens.
+
+One :class:`BlockFilter` per committed block summarises which attribute
+values (``"camera=cam-07"``, ``"trust_band=trusted"``) the block's valid
+writes touched. A reader walking the chain for one value can skip every
+block whose filter rules the token out — false positives only cost a wasted
+block visit, never a wrong answer. Hash positions derive from SHA-256 of
+the token plus a salt byte, so the filter is identical on every peer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+DEFAULT_BITS = 512
+DEFAULT_HASHES = 4
+
+
+def _positions(token: str, m: int, k: int) -> list[int]:
+    out = []
+    data = token.encode()
+    for salt in range(k):
+        h = hashlib.sha256(bytes([salt]) + data).digest()
+        out.append(int.from_bytes(h[:8], "big") % m)
+    return out
+
+
+class BlockFilter:
+    """A fixed-size bloom filter over attribute-value tokens."""
+
+    def __init__(self, m_bits: int = DEFAULT_BITS, k: int = DEFAULT_HASHES) -> None:
+        if m_bits < 8 or k < 1:
+            raise ValueError("bloom filter needs m_bits >= 8 and k >= 1")
+        self.m_bits = m_bits
+        self.k = k
+        self._bits = 0
+        self._count = 0
+
+    def add(self, token: str) -> None:
+        for pos in _positions(token, self.m_bits, self.k):
+            self._bits |= 1 << pos
+        self._count += 1
+
+    def might_contain(self, token: str) -> bool:
+        return all(
+            self._bits >> pos & 1 for pos in _positions(token, self.m_bits, self.k)
+        )
+
+    def __contains__(self, token: str) -> bool:
+        return self.might_contain(token)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def to_doc(self) -> dict:
+        return {
+            "m": self.m_bits,
+            "k": self.k,
+            "n": self._count,
+            "bits": format(self._bits, "x"),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "BlockFilter":
+        out = cls(m_bits=int(doc["m"]), k=int(doc["k"]))
+        out._bits = int(doc["bits"], 16)
+        out._count = int(doc["n"])
+        return out

@@ -66,6 +66,7 @@ class AuditReport:
     state_keys_checked: int = 0
     offchain_files_checked: int = 0
     offchain_blocks_checked: int = 0
+    index_epochs_checked: int = 0
     findings: list[AuditFinding] = field(default_factory=list)
 
     @property
@@ -80,6 +81,7 @@ class AuditReport:
             "state_keys_checked": self.state_keys_checked,
             "offchain_files_checked": self.offchain_files_checked,
             "offchain_blocks_checked": self.offchain_blocks_checked,
+            "index_epochs_checked": self.index_epochs_checked,
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -90,6 +92,7 @@ class AuditReport:
             f"{self.state_keys_checked} state keys replayed",
             f"off-chain  : {self.offchain_files_checked} files, "
             f"{self.offchain_blocks_checked} blocks hash-verified",
+            f"index      : {self.index_epochs_checked} epoch digests verified",
         ]
         for finding in self.findings:
             where = " ".join(
@@ -126,18 +129,20 @@ class LedgerExplorer:
 
     def block_view(self, number: int) -> dict:
         """One block as a JSON-friendly dict, validation codes included."""
-        block = self.reference_peer().ledger.block(number)
-        return self._block_dict(block)
+        peer = self.reference_peer()
+        return self._block_dict(peer.ledger.block(number), getattr(peer, "index", None))
 
     def blocks(self, start: int = 0, limit: int | None = None) -> list[dict]:
-        ledger = self.reference_peer().ledger
+        peer = self.reference_peer()
+        ledger = peer.ledger
+        index = getattr(peer, "index", None)
         numbers = range(max(start, ledger.base_height), ledger.height)
         if limit is not None:
             numbers = numbers[:limit]
-        return [self._block_dict(ledger.block(n)) for n in numbers]
+        return [self._block_dict(ledger.block(n), index) for n in numbers]
 
     @staticmethod
-    def _block_dict(block: Block) -> dict:
+    def _block_dict(block: Block, index=None) -> dict:
         txs = []
         for i, tx in enumerate(block.transactions):
             code = (
@@ -155,7 +160,7 @@ class LedgerExplorer:
                     "code": code,
                 }
             )
-        return {
+        view = {
             "number": block.number,
             "hash": block.header.hash(),
             "previous_hash": block.header.previous_hash,
@@ -164,6 +169,11 @@ class LedgerExplorer:
             "tx_count": len(block.transactions),
             "transactions": txs,
         }
+        if index is not None:
+            # The secondary-index epoch root this block advanced the peer's
+            # authenticated index to (None for pre-index blocks).
+            view["index_epoch"] = index.epochs.get(block.number)
+        return view
 
     def tx_view(self, tx_id: str) -> dict:
         """One transaction: proposal, outcome, rwset, endorsers."""
@@ -324,9 +334,70 @@ class LedgerExplorer:
 
         self._audit_state_replay(peer, blocks, report)
         self._audit_peer_heads(report)
+        self._audit_index(peer, blocks, report)
         if offchain and self.ipfs is not None:
             self._audit_offchain(peer, report)
         return report
+
+    def _audit_index(self, peer: Peer, blocks: list[Block], report: AuditReport) -> None:
+        """Verify the peers' authenticated index epochs.
+
+        Cross-peer: online peers that indexed the same block number must
+        have recorded the same epoch digest. Independent: when the
+        reference ledger holds the full chain (no snapshot bootstrap), a
+        fresh index replays every block and must reproduce each recorded
+        epoch — the auditor trusts nothing but the blocks themselves.
+        """
+        indexes = {
+            name: p.index
+            for name, p in self.channel.peers.items()
+            if p.online and getattr(p, "index", None) is not None
+        }
+        if not indexes:
+            return
+        numbers: set[int] = set()
+        for index in indexes.values():
+            numbers.update(index.epochs)
+        for n in sorted(numbers):
+            recorded = {
+                name: index.epochs[n]
+                for name, index in sorted(indexes.items())
+                if n in index.epochs
+            }
+            report.index_epochs_checked += 1
+            if len(set(recorded.values())) > 1:
+                report.findings.append(
+                    AuditFinding(
+                        "index_epoch",
+                        "peers disagree on the index epoch: "
+                        + ", ".join(f"{p}={d[:12]}…" for p, d in recorded.items()),
+                        block=n,
+                    )
+                )
+        reference = getattr(peer, "index", None)
+        if reference is None or peer.ledger.base_height != 0:
+            return
+        from repro.index import PeerIndex
+
+        replayed = PeerIndex(
+            trusted_threshold=reference.trusted_threshold,
+            min_threshold=reference.min_threshold,
+        )
+        for block in blocks:
+            replayed.apply_block(block)
+            recorded_epoch = reference.epochs.get(block.number)
+            if recorded_epoch is None:
+                continue
+            if replayed.epochs.get(block.number) != recorded_epoch:
+                report.findings.append(
+                    AuditFinding(
+                        "index_epoch",
+                        f"recorded epoch {recorded_epoch[:12]}… is not "
+                        "reproduced by replaying the chain through a fresh "
+                        "index",
+                        block=block.number,
+                    )
+                )
 
     def _audit_txs(self, block: Block, report: AuditReport) -> None:
         msp = self.channel.msp_registry

@@ -25,9 +25,9 @@ from repro.query.aggregate import (
     explode,
     time_series,
 )
-from repro.query.executor import QueryEngine, QueryRow, QueryStats
+from repro.query.executor import QueryEngine, QueryRow, QueryStats, VerifiedAnswer
 from repro.query.parser import parse_query
-from repro.query.planner import AccessPath, Plan, plan_query
+from repro.query.planner import AccessPath, IndexRoute, Plan, plan_query
 
 __all__ = [
     "And",
@@ -53,8 +53,10 @@ __all__ = [
     "QueryEngine",
     "QueryRow",
     "QueryStats",
+    "VerifiedAnswer",
     "parse_query",
     "AccessPath",
+    "IndexRoute",
     "Plan",
     "plan_query",
 ]

@@ -6,6 +6,12 @@ top-level conjuncts for a predicate one of those indexes can serve, emits
 the corresponding chaincode call, and keeps the whole filter as a residual
 (indexes narrow the candidate set; the residual guarantees correctness).
 With no usable predicate it falls back to the full ``list_all`` scan.
+
+When the same predicate is servable by the peers' block-incremental
+authenticated index (:mod:`repro.index`), the plan additionally carries an
+:class:`IndexRoute` — the executor prefers it (a direct posting lookup on
+an in-sync peer, no chaincode scan) and falls back to the chaincode access
+path when no peer serves the index at the snapshot height.
 """
 
 from __future__ import annotations
@@ -25,16 +31,39 @@ class AccessPath:
 
 
 @dataclass(frozen=True)
+class IndexRoute:
+    """One posting lookup in the authenticated secondary index.
+
+    Equality predicates carry ``(dim, value)``; time-window predicates
+    carry ``time_range`` (``[lower, upper)``, upper already widened the
+    same way as the chaincode access path).
+    """
+
+    dim: str
+    value: str = ""
+    time_range: tuple[float, float] | None = None
+
+    def describe(self) -> str:
+        if self.time_range is not None:
+            return f"{self.dim}[{self.time_range[0]}, {self.time_range[1]})"
+        return f"{self.dim}={self.value}"
+
+
+@dataclass(frozen=True)
 class Plan:
     paths: tuple[AccessPath, ...]
     residual: Expr
     full_scan: bool
+    index_route: IndexRoute | None = None
 
     def explain(self) -> str:
         if self.full_scan:
             return "FULL SCAN data:* -> filter"
         steps = ", ".join(f"{p.index}({', '.join(p.args)})" for p in self.paths)
-        return f"INDEX {steps} -> filter"
+        out = f"INDEX {steps} -> filter"
+        if self.index_route is not None:
+            out += f" [authenticated route: {self.index_route.describe()}]"
+        return out
 
 
 # field -> (index name, chaincode fn); equality predicates only.
@@ -44,6 +73,15 @@ _EQUALITY_INDEXES = {
     "metadata.camera_id": ("by_camera", "list_by_camera"),
     "vehicle_class": ("by_class", "list_by_vehicle_class"),
     "violation_type": ("by_violation", "list_by_violation"),
+}
+
+# field -> posting dimension in the peers' authenticated index.
+_INDEX_DIMS = {
+    "source_id": "source",
+    "camera_id": "camera",
+    "metadata.camera_id": "camera",
+    "vehicle_class": "class",
+    "violation_type": "violation",
 }
 
 _TIME_FIELD = "metadata.timestamp"
@@ -57,16 +95,34 @@ def plan_query(query: Query) -> Plan:
     for field in ("source_id", "camera_id", "metadata.camera_id"):
         path = _equality_path(parts, field)
         if path is not None:
-            return Plan(paths=(path,), residual=query.where, full_scan=False)
+            return Plan(
+                paths=(path,),
+                residual=query.where,
+                full_scan=False,
+                index_route=IndexRoute(dim=_INDEX_DIMS[field], value=path.args[0]),
+            )
 
     for field in ("violation_type", "vehicle_class"):
         path = _equality_path(parts, field)
         if path is not None:
-            return Plan(paths=(path,), residual=query.where, full_scan=False)
+            return Plan(
+                paths=(path,),
+                residual=query.where,
+                full_scan=False,
+                index_route=IndexRoute(dim=_INDEX_DIMS[field], value=path.args[0]),
+            )
 
     time_path = _time_range_path(parts)
     if time_path is not None:
-        return Plan(paths=(time_path,), residual=query.where, full_scan=False)
+        return Plan(
+            paths=(time_path,),
+            residual=query.where,
+            full_scan=False,
+            index_route=IndexRoute(
+                dim="time",
+                time_range=(float(time_path.args[0]), float(time_path.args[1])),
+            ),
+        )
 
     return Plan(
         paths=(AccessPath(fn="list_all", args=(), index="full"),),

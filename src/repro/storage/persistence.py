@@ -64,6 +64,7 @@ from repro.util.serialization import canonical_json, from_canonical_json
 WAL_LOG = "wal"
 CHECKPOINT_FILE = "checkpoint"
 PRIVATE_FILE = "private"
+INDEX_FILE = "index"
 
 
 @dataclass
@@ -144,6 +145,12 @@ class DurabilityManager:
         store = self.stores.get(peer.name)
         if store is None:
             return
+        # The index epoch digest rides in the WAL record (the sim's "block
+        # metadata"), so replay can prove the rebuilt index matches what
+        # was committed — and a doctored WAL fails over to state transfer.
+        index_epoch = None
+        if getattr(peer, "index", None) is not None:
+            index_epoch = peer.index.epochs.get(block.number)
         store.append(
             WAL_LOG,
             canonical_json(
@@ -151,6 +158,7 @@ class DurabilityManager:
                     "type": "block",
                     "block": block_to_doc(block),
                     "rejected": sorted(consensus_rejected or ()),
+                    "index_epoch": index_epoch,
                 }
             ),
         )
@@ -192,6 +200,8 @@ class DurabilityManager:
         snapshot = take_snapshot(peer, self.channel.name)
         store.write_file(CHECKPOINT_FILE, snapshot.to_bytes())
         store.write_file(PRIVATE_FILE, canonical_json(self._private_doc(peer)))
+        if getattr(peer, "index", None) is not None:
+            store.write_file(INDEX_FILE, canonical_json(peer.index.to_doc()))
         store.truncate_log(WAL_LOG)
         store.sync()
         self.stats.checkpoints += 1
@@ -358,6 +368,8 @@ class DurabilityManager:
         peer.world = WorldState()
         peer.ledger = BlockStore()
         peer.private = PrivateStateStore(org=peer.org, registry=peer.collections)
+        if getattr(peer, "index", None) is not None:
+            peer.index = peer.index.fresh()
         peer.online = True
 
     def _replay(self, peer, store: DurableStore, records: list[bytes]) -> tuple[int, int]:
@@ -368,6 +380,7 @@ class DurabilityManager:
             snapshot = Snapshot.from_bytes(raw)
             bootstrap_peer(peer, snapshot)  # digest-verified adoption
             self._restore_private(peer, store)
+            self._restore_index(peer, store)
             ckpt_height = snapshot.height
         if peer.sanitizer is not None:
             peer.sanitizer.note_recovery(peer.name, peer.ledger.height)
@@ -390,6 +403,15 @@ class DurabilityManager:
                         f"block {block.header.number} revalidated differently "
                         f"on replay — WAL record untrustworthy"
                     )
+                recorded_epoch = doc.get("index_epoch")
+                if recorded_epoch is not None and peer.index is not None:
+                    rebuilt = peer.index.epochs.get(block.header.number)
+                    if rebuilt != recorded_epoch:
+                        raise DurabilityError(
+                            f"index epoch for block {block.header.number} "
+                            f"rebuilt differently on replay — WAL record "
+                            f"untrustworthy"
+                        )
                 replayed += 1
         finally:
             self._replaying.discard(peer.name)
@@ -421,6 +443,18 @@ class DurabilityManager:
                 )
         adopt_snapshot(peer, snapshot)  # resets partial replay state, verifies digest
         self._adopt_private(peer, at_head)
+        if peer.index is not None:
+            # The index is derivable from world state, so a verified
+            # snapshot is enough to rebuild it (epoch history before the
+            # snapshot height is not recoverable and stays empty).
+            from repro.index import PeerIndex
+
+            peer.index = PeerIndex.from_world(
+                peer.world,
+                peer.ledger.height,
+                peer.index.trusted_threshold,
+                peer.index.min_threshold,
+            )
         if peer.sanitizer is not None:
             peer.sanitizer.note_recovery(peer.name, peer.ledger.height)
         return donor.name
@@ -472,6 +506,36 @@ class DurabilityManager:
                     tx_id="checkpoint-restore",
                     timestamp=0.0,
                 )
+
+    @staticmethod
+    def _restore_index(peer, store: DurableStore) -> None:
+        """Restore the checkpointed index; rebuild from world on any gap.
+
+        A checkpoint written by :meth:`checkpoint_peer` always carries a
+        matching index file, but an older store (or one damaged between
+        files) may not — the index is state-derived, so a rebuild from the
+        freshly adopted world is always a sound fallback.
+        """
+        if peer.index is None:
+            return
+        from repro.index import PeerIndex
+
+        raw = store.read_file(INDEX_FILE)
+        restored = None
+        if raw is not None:
+            try:
+                restored = PeerIndex.from_doc(from_canonical_json(raw))
+            except (EncodingError, KeyError, TypeError, ValueError):
+                restored = None
+        if restored is not None and restored.height == peer.ledger.height:
+            peer.index = restored
+        else:
+            peer.index = PeerIndex.from_world(
+                peer.world,
+                peer.ledger.height,
+                peer.index.trusted_threshold,
+                peer.index.min_threshold,
+            )
 
     def _adopt_private(self, peer, donors) -> None:
         """Private collections can only come from a same-org donor (snapshots

@@ -169,6 +169,9 @@ class TestCacheStalenessRace:
         engine = client.engine
 
         query = "source_id = 'race-cam'"
+        # Pin the scan route: the race is injected via _execute_paths, and
+        # the cache's height snapshot is shared by both routes anyway.
+        engine.use_index = False
         original = engine._execute_paths
 
         def racy_execute(plan):

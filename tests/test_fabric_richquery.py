@@ -69,6 +69,35 @@ class TestMatchSelector:
         with pytest.raises(QueryError):
             match_selector(DOC, {"$xor": []})
 
+    def test_invalid_regex_is_query_error(self):
+        # An unbalanced pattern must surface as a typed QueryError, never a
+        # raw re.error leaking out of the selector engine.
+        with pytest.raises(QueryError, match="regex"):
+            match_selector(DOC, {"user_id": {"$regex": "mob-("}})
+        with pytest.raises(QueryError, match="regex"):
+            match_selector(DOC, {"user_id": {"$regex": "[unclosed"}})
+
+    def test_regex_on_non_string_field_never_matches(self):
+        assert not match_selector(DOC, {"score": {"$regex": r"\d+"}})
+
+    def test_in_nin_require_array_operand(self):
+        # CouchDB semantics: the operand must be an array. A scalar — or a
+        # string, whose `in` would silently do substring matching — is a
+        # malformed selector, not a non-match.
+        for op in ("$in", "$nin"):
+            with pytest.raises(QueryError, match="array"):
+                match_selector(DOC, {"tier": {op: "untrusted"}})
+            with pytest.raises(QueryError, match="array"):
+                match_selector(DOC, {"score": {op: 0.4}})
+
+    def test_exists_false_with_comparison_never_matches(self):
+        # $exists: false asserts absence; a comparison needs a present
+        # value — the conjunction is unsatisfiable on any document.
+        assert not match_selector(DOC, {"missing": {"$exists": False, "$lt": 5}})
+        assert not match_selector(DOC, {"score": {"$exists": False, "$lt": 5}})
+        # With $exists: true the comparison applies normally.
+        assert match_selector(DOC, {"score": {"$exists": True, "$lt": 5}})
+
 
 class TestSelect:
     ROWS = [

@@ -75,3 +75,37 @@ class TestQueryCache:
         rows = client.query(q)
         rows.clear()
         assert len(client.query(q)) == 1
+
+
+class TestCacheBound:
+    def test_cache_is_bounded_with_fifo_eviction(self, env):
+        _, client = env
+        engine = client.engine
+        engine.cache_max_entries = 3
+        queries = [f"metadata.timestamp >= {i}" for i in range(5)]
+        for q in queries:
+            client.query(q)
+        assert len(engine._cache) == 3
+        assert engine.stats.cache_evictions == 2
+        # Oldest-first: the first two queries were evicted, the last three
+        # are still warm.
+        hits_before = engine.stats.cache_hits
+        client.query(queries[-1])
+        assert engine.stats.cache_hits == hits_before + 1
+        client.query(queries[0])  # evicted: a fresh execution, not a hit
+        assert engine.stats.cache_hits == hits_before + 1
+
+    def test_eviction_counter_exported(self, env):
+        from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+        _, client = env
+        set_registry(MetricsRegistry())
+        try:
+            engine = client.engine
+            engine.cache_max_entries = 1
+            client.query("metadata.timestamp >= 1")
+            client.query("metadata.timestamp >= 2")
+            counter = get_registry().counter("query_cache_evictions_total")
+            assert counter.value == 1.0
+        finally:
+            set_registry(MetricsRegistry())
