@@ -107,6 +107,44 @@ def _emit(results, n_items, name="ablation_batching"):
     )
 
 
+def _profile_quick():
+    """Run the quick sweep under the cost-center profiler and emit the
+    ``prof_batching_quick`` envelope the CI prof-gate diffs.
+
+    ``<center>_calls`` series are seed-deterministic (the workload is
+    fixed), so they gate EXACT; ``<center>_excl_s`` series gate at the
+    wall-time tolerance. The profiler fingerprint (call counts only)
+    rides in ``meta`` so two runs of this gate are comparable at a
+    glance.
+    """
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    obs.set_registry(registry)
+    profiler = obs.enable_profiler(registry=registry)
+    obs.enable(registry=registry)
+    try:
+        results = _sweep(QUICK_BATCH_SIZES, QUICK_N_ITEMS)
+        _check_gates(results, QUICK_N_ITEMS)
+        report = profiler.report()
+        assert report.centers, "profiled sweep recorded no cost centers"
+        emit_json(
+            "prof_batching_quick",
+            report.series(),
+            meta={
+                "batch_sizes": list(QUICK_BATCH_SIZES),
+                "n_items": QUICK_N_ITEMS,
+                "fingerprint": report.fingerprint,
+            },
+            seed=0,
+        )
+        print(f"profile fingerprint: {report.fingerprint}")
+        print(f"cost centers       : {len(report.centers)} (node, center) rows")
+    finally:
+        obs.disable()
+        obs.disable_profiler()
+
+
 def test_ablation_batch_size(benchmark):
     results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     _emit(results, N_ITEMS)
@@ -124,7 +162,16 @@ def main(argv=None):
         action="store_true",
         help="small sweep (batch 1 vs 16 over 16 items) for the CI gate",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the quick sweep under the cost-center profiler and emit "
+             "the prof_batching_quick envelope (CI prof-gate)",
+    )
     args = parser.parse_args(argv)
+    if args.profile:
+        _profile_quick()
+        return
     if args.quick:
         batch_sizes, n_items = QUICK_BATCH_SIZES, QUICK_N_ITEMS
     else:

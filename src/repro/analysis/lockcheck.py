@@ -17,14 +17,17 @@ structures whose sharing the linter cannot see (e.g. captures passed into
 Both detectors *record* findings instead of raising, so a chaos scenario or
 test run completes and the sanitizer report lists every violation at once.
 ``make_lock`` is the factory the rest of the codebase uses: it returns a
-plain ``threading.Lock`` unless a registry is active, so the instrumented
-path costs nothing when sanitizers are off.
+plain ``threading.Lock`` unless a registry is active (sanitize mode) or the
+cost-center profiler is enabled (:class:`TimedLock` contention telemetry) —
+with both off, the instrumented path costs nothing.
 """
 
 from __future__ import annotations
 
 import sys
 import threading
+
+from repro.obs.prof import get_profiler
 
 from .rules import Finding
 
@@ -180,6 +183,66 @@ class TrackedLock:
         return f"TrackedLock({self.name!r})"
 
 
+class TimedLock:
+    """Lock wrapper reporting acquire-wait and hold time to the profiler.
+
+    Wraps either a plain ``threading`` lock or a :class:`TrackedLock`, so
+    contention telemetry composes with the lock-order sanitizer. Created
+    by :func:`make_lock` when the cost-center profiler is enabled; each
+    acquire charges its wait to the profiler's ``lock.wait`` center and
+    (with a registry attached) the ``lock_wait_seconds_total{name}`` /
+    ``lock_hold_seconds_total{name}`` metric families — contention is
+    visible outside sanitize mode, not only when SAN401 is hunting.
+
+    The profiler is re-checked at acquire/release time: toggling it
+    mid-hold skips that interval's sample instead of corrupting state
+    (the per-thread hold stack only pops what it pushed).
+    """
+
+    def __init__(self, name: str, inner) -> None:
+        self.name = name
+        self._inner = inner
+        self._holds = threading.local()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:  # reprolint: disable=HYG201
+        profiler = get_profiler()
+        if profiler is None:
+            return self._inner.acquire(blocking, timeout)
+        start = profiler.clock()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            profiler.record_lock_wait(self.name, profiler.clock() - start)
+            stack = getattr(self._holds, "stack", None)
+            if stack is None:
+                stack = self._holds.stack = []
+            stack.append(profiler.clock())
+        return acquired
+
+    def release(self) -> None:
+        profiler = get_profiler()
+        stack = getattr(self._holds, "stack", None)
+        start = stack.pop() if stack else None
+        if profiler is not None and start is not None:
+            profiler.record_lock_hold(self.name, profiler.clock() - start)
+        self._inner.release()
+
+    def __enter__(self) -> "TimedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "held_by_current_thread"):
+            return inner.held_by_current_thread()
+        return bool(getattr(self._holds, "stack", None))
+
+    def __repr__(self) -> str:
+        return f"TimedLock({self.name!r}, {self._inner!r})"
+
+
 class GuardedShared:
     """Proxy for a shared container whose mutations require a guard lock."""
 
@@ -251,19 +314,27 @@ def active_registry() -> LockRegistry | None:
 
 
 def make_lock(name: str, *, reentrant: bool = False):
-    """Factory for locks that become tracked when a registry is active.
+    """Factory for locks that become instrumented when anyone is watching.
 
-    With no active registry this returns a plain ``threading`` lock, so
-    production paths pay nothing for the instrumentation hook.
+    Sanitize mode (an active :class:`LockRegistry`) gets a
+    :class:`TrackedLock`; an enabled cost-center profiler additionally
+    wraps the lock in :class:`TimedLock` for wait/hold telemetry. With
+    both off this returns a plain ``threading`` lock, so production paths
+    pay nothing for the instrumentation hook.
     """
     if _ACTIVE is not None:
-        return TrackedLock(name, _ACTIVE, reentrant=reentrant)
-    return threading.RLock() if reentrant else threading.Lock()
+        lock = TrackedLock(name, _ACTIVE, reentrant=reentrant)
+    else:
+        lock = threading.RLock() if reentrant else threading.Lock()
+    if get_profiler() is not None:
+        return TimedLock(name, lock)
+    return lock
 
 
 def guard_shared(obj, guard, name: str):
     """Wrap *obj* so unguarded mutations are reported (no-op when inactive
     or when *guard* is an uninstrumented plain lock)."""
-    if _ACTIVE is not None and isinstance(guard, TrackedLock):
+    tracked = guard._inner if isinstance(guard, TimedLock) else guard
+    if _ACTIVE is not None and isinstance(tracked, TrackedLock):
         return GuardedShared(obj, guard, name, _ACTIVE)
     return obj

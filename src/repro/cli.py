@@ -13,6 +13,7 @@ every invocation stands up a fresh network — there is no daemon):
 * ``metrics``              — run a traced demo, print the metrics (Prometheus/JSON)
 * ``trace``                — run a traced demo, print the span tree + Fig. 5/6 breakdown
 * ``critpath``             — cross-node critical path of a committed tx (stage/node/msg)
+* ``prof``                 — cost-center profile of a chaos scenario (or the traced demo)
 * ``bench-diff``           — gate fresh BENCH results against the checked-in baseline
 * ``explorer``             — browse the ledger: blocks, txs, provenance, trust, audit
 * ``health``               — component health + SLIs for a live deployment
@@ -93,6 +94,32 @@ def _build_parser() -> argparse.ArgumentParser:
     crit.add_argument("--json", action="store_true", dest="as_json")
     crit.add_argument("--out", default=None, metavar="FILE",
                       help="write the tx's cross-node Chrome trace (one process row per node)")
+
+    prof = sub.add_parser(
+        "prof",
+        help="run a workload under the cost-center profiler and print the profile",
+    )
+    prof.add_argument("target", nargs="?", default="standard",
+                      help="chaos scenario name (see `repro chaos list`), or 'demo' "
+                           "for the traced store+retrieve demo (default: standard)")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--cycles", type=int, default=None,
+                      help="override the scenario's cycle count")
+    prof.add_argument("--items", type=int, default=3,
+                      help="items for the 'demo' target (default 3)")
+    prof.add_argument("--top", type=int, default=20,
+                      help="cost-center rows to print (default 20)")
+    prof.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the profile (centers/locks/queues/coverage) as JSON")
+    prof.add_argument("--collapsed", default=None, metavar="FILE",
+                      help="write collapsed stacks (flamegraph.pl input)")
+    prof.add_argument("--out", default=None, metavar="FILE",
+                      help="write a Chrome trace_event JSON of the cost-center tree")
+    prof.add_argument("--emit", default=None, metavar="NAME",
+                      help="emit a BENCH_<NAME>.json profile envelope for bench-diff")
+    prof.add_argument("--min-coverage", type=float, default=None, metavar="FRAC",
+                      help="fail (exit 1) unless cost centers explain at least FRAC "
+                           "of fabric.invoke wall time")
 
     bench_diff = sub.add_parser(
         "bench-diff",
@@ -436,6 +463,72 @@ def _cmd_critpath(args) -> int:
             print(f"\nchrome trace (node = process row): {args.out}")
     finally:
         obs.disable()
+    return 0
+
+
+def _cmd_prof(args) -> int:
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    obs.set_registry(registry)
+    profiler = obs.enable_profiler(registry=registry)
+    try:
+        if args.target == "demo":
+            tracer, _registry = _traced_demo(args.items)
+        else:
+            from repro.chaos import get_scenario
+            from repro.errors import ReproError
+
+            tracer = obs.enable(registry=registry)
+            try:
+                scenario = get_scenario(args.target, seed=args.seed, n_cycles=args.cycles)
+            except ReproError as exc:
+                print(f"repro prof: {exc}", file=sys.stderr)
+                return 2
+            scenario.run()
+        report = profiler.report()
+        coverage = obs.invoke_coverage(tracer, profiler)
+        if args.as_json:
+            doc = report.to_dict()
+            doc["invoke_coverage"] = coverage
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for line in report.render_lines(args.top):
+                print(line)
+            print()
+            print(f"fabric.invoke coverage: {coverage * 100:.1f}% of wall time "
+                  f"attributed to cost centers")
+            print(f"fingerprint           : {report.fingerprint}")
+        if args.collapsed:
+            obs.write_collapsed(args.collapsed, profiler)
+            print(f"collapsed stacks      : {args.collapsed} (flamegraph.pl input)")
+        if args.out:
+            obs.write_chrome_trace_tree(args.out, profiler)
+            print(f"chrome trace          : {args.out} (cost-center tree)")
+        if args.emit:
+            from repro.bench.report import emit_json
+
+            path = emit_json(
+                args.emit,
+                report.series(),
+                meta={
+                    "target": args.target,
+                    "fingerprint": report.fingerprint,
+                    "invoke_coverage": coverage,
+                },
+                seed=args.seed,
+            )
+            print(f"profile envelope      : {path}")
+        if args.min_coverage is not None and coverage < args.min_coverage:
+            print(
+                f"repro prof: coverage {coverage:.3f} below required "
+                f"{args.min_coverage:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        obs.disable()
+        obs.disable_profiler()
     return 0
 
 
@@ -815,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "critpath":
         return _cmd_critpath(args)
+    if args.command == "prof":
+        return _cmd_prof(args)
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
     if args.command == "chaos":

@@ -47,6 +47,7 @@ from repro.consensus.messages import (
 )
 from repro.errors import ConsensusError
 from repro.net import Message, NetNode, SimNetwork
+from repro.obs.prof import profiled
 from repro.obs.tracer import span as obs_span
 from repro.util.serialization import canonical_json
 
@@ -219,7 +220,8 @@ class BftReplica(NetNode):
     def on_message(self, msg: Message) -> None:
         if self.behaviour is Behaviour.CRASHED:
             return
-        self._dispatch(msg.payload)
+        with profiled("consensus.handle"):
+            self._dispatch(msg.payload)
 
     def _dispatch(self, payload: Any) -> None:
         if isinstance(payload, ClientRequest):
@@ -252,7 +254,8 @@ class BftReplica(NetNode):
             sp.set_attr("replica", self.name)
             sp.set_attr("request", request.request_id)
             sp.set_attr("items", n)
-            verdict = self.cluster.validate(self.name, request)
+            with profiled("consensus.validate"):
+                verdict = self.cluster.validate(self.name, request)
         if isinstance(verdict, (tuple, list)):
             if len(verdict) != n:
                 raise ConsensusError(
@@ -618,7 +621,8 @@ class BftCluster:
             sp.set_attr("items", n_items)
             for replica in self.replicas.values():
                 if self.network.is_up(replica.name):
-                    replica.on_request(request)
+                    with profiled("consensus.handle"):
+                        replica.on_request(request)
         return request
 
     def run(self, until: float | None = None) -> None:

@@ -148,6 +148,7 @@ class BatchIngestor:
                     lambda p: hashlib.sha256(p).hexdigest(),
                     payloads,
                     max_workers=self.io_workers,
+                    queue="ingest.hash",
                 )
 
             # On-chain metadata: endorse + queue into the orderer's batch;

@@ -10,6 +10,8 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable
 
+from repro.obs.prof import profiled
+
 SHA2_256 = "sha2-256"
 SHA2_512 = "sha2-512"
 
@@ -23,10 +25,11 @@ DIGEST_SIZES = {SHA2_256: 32, SHA2_512: 64}
 
 def digest(data: bytes, algo: str = SHA2_256) -> bytes:
     """Hash ``data`` with the named algorithm and return the raw digest."""
-    try:
-        return _ALGOS[algo](data).digest()
-    except KeyError:
-        raise ValueError(f"unsupported hash algorithm {algo!r}") from None
+    with profiled("crypto.hash", n_bytes=len(data)):
+        try:
+            return _ALGOS[algo](data).digest()
+        except KeyError:
+            raise ValueError(f"unsupported hash algorithm {algo!r}") from None
 
 
 def hexdigest(data: bytes, algo: str = SHA2_256) -> str:
@@ -36,10 +39,12 @@ def hexdigest(data: bytes, algo: str = SHA2_256) -> str:
 
 def digest_many(parts: Iterable[bytes], algo: str = SHA2_256) -> bytes:
     """Hash the concatenation of ``parts`` without materializing it."""
-    try:
-        h = _ALGOS[algo]()
-    except KeyError:
-        raise ValueError(f"unsupported hash algorithm {algo!r}") from None
-    for part in parts:
-        h.update(part)
-    return h.digest()
+    with profiled("crypto.hash") as pf:
+        try:
+            h = _ALGOS[algo]()
+        except KeyError:
+            raise ValueError(f"unsupported hash algorithm {algo!r}") from None
+        for part in parts:
+            h.update(part)
+            pf.add_bytes(len(part))
+        return h.digest()

@@ -32,6 +32,7 @@ import secrets
 from dataclasses import dataclass
 
 from repro.errors import SignatureError
+from repro.obs.prof import profiled
 
 _PUB_DOMAIN = b"repro-pub-v1"
 SIGNATURE_SIZE = 64  # 32-byte HMAC + 32-byte verifier tag
@@ -49,14 +50,15 @@ class PublicKey:
         A valid signature's verifier tag must equal
         ``SHA-256(public || mac || message)``.
         """
-        if len(signature) != SIGNATURE_SIZE:
-            raise SignatureError(
-                f"signature must be {SIGNATURE_SIZE} bytes, got {len(signature)}"
-            )
-        mac, tag = signature[:32], signature[32:]
-        expected = hashlib.sha256(self.key_bytes + mac + message).digest()
-        if not hmac.compare_digest(tag, expected):
-            raise SignatureError("signature verification failed")
+        with profiled("crypto.verify", n_bytes=len(message)):
+            if len(signature) != SIGNATURE_SIZE:
+                raise SignatureError(
+                    f"signature must be {SIGNATURE_SIZE} bytes, got {len(signature)}"
+                )
+            mac, tag = signature[:32], signature[32:]
+            expected = hashlib.sha256(self.key_bytes + mac + message).digest()
+            if not hmac.compare_digest(tag, expected):
+                raise SignatureError("signature verification failed")
 
     def is_valid(self, message: bytes, signature: bytes) -> bool:
         """Boolean form of :meth:`verify`."""
@@ -89,9 +91,10 @@ class PrivateKey:
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message``; returns a 64-byte signature."""
-        mac = hmac.new(self.key_bytes, message, hashlib.sha256).digest()
-        tag = hashlib.sha256(self.public_key().key_bytes + mac + message).digest()
-        return mac + tag
+        with profiled("crypto.sign", n_bytes=len(message)):
+            mac = hmac.new(self.key_bytes, message, hashlib.sha256).digest()
+            tag = hashlib.sha256(self.public_key().key_bytes + mac + message).digest()
+            return mac + tag
 
 
 @dataclass(frozen=True)

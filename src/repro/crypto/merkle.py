@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.crypto.hashing import digest
 from repro.errors import MerkleProofError
+from repro.obs.prof import profiled
 
 _LEAF = b"\x00"
 _NODE = b"\x01"
@@ -44,14 +45,15 @@ class MerkleProof:
 
     def verify(self, leaf_data: bytes, root: bytes) -> None:
         """Raise :class:`MerkleProofError` unless the proof links leaf→root."""
-        node = _leaf_hash(leaf_data)
-        for step in self.steps:
-            if step.sibling_on_left:
-                node = _node_hash(step.sibling, node)
-            else:
-                node = _node_hash(node, step.sibling)
-        if node != root:
-            raise MerkleProofError("Merkle proof does not reconstruct the root")
+        with profiled("crypto.merkle", n_bytes=len(leaf_data)):
+            node = _leaf_hash(leaf_data)
+            for step in self.steps:
+                if step.sibling_on_left:
+                    node = _node_hash(step.sibling, node)
+                else:
+                    node = _node_hash(node, step.sibling)
+            if node != root:
+                raise MerkleProofError("Merkle proof does not reconstruct the root")
 
     def is_valid(self, leaf_data: bytes, root: bytes) -> bool:
         try:
@@ -72,16 +74,18 @@ class MerkleTree:
     def __init__(self, leaves: Sequence[bytes]) -> None:
         if not leaves:
             raise ValueError("Merkle tree requires at least one leaf")
-        self._leaves = [bytes(leaf) for leaf in leaves]
-        # _levels[0] is the leaf-hash level; the last level is [root].
-        self._levels: list[list[bytes]] = [[_leaf_hash(l) for l in self._leaves]]
-        while len(self._levels[-1]) > 1:
-            prev = self._levels[-1]
-            nxt = [
-                _node_hash(prev[i], prev[i + 1]) if i + 1 < len(prev) else prev[i]
-                for i in range(0, len(prev), 2)
-            ]
-            self._levels.append(nxt)
+        with profiled("crypto.merkle") as pf:
+            self._leaves = [bytes(leaf) for leaf in leaves]
+            pf.add_bytes(sum(len(leaf) for leaf in self._leaves))
+            # _levels[0] is the leaf-hash level; the last level is [root].
+            self._levels: list[list[bytes]] = [[_leaf_hash(l) for l in self._leaves]]
+            while len(self._levels[-1]) > 1:
+                prev = self._levels[-1]
+                nxt = [
+                    _node_hash(prev[i], prev[i + 1]) if i + 1 < len(prev) else prev[i]
+                    for i in range(0, len(prev), 2)
+                ]
+                self._levels.append(nxt)
 
     def __len__(self) -> int:
         return len(self._leaves)

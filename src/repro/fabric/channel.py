@@ -46,6 +46,7 @@ from repro.fabric.tx import (
     ValidationCode,
 )
 from repro.obs.metrics import get_registry
+from repro.obs.prof import profiled
 from repro.obs.tracer import span as obs_span
 from repro.util.clock import Clock, WallClock
 
@@ -150,7 +151,8 @@ class Channel:
         with obs_span("fabric.deliver") as sp:
             sp.set_attr("block", block.number)
             sp.set_attr("txs", len(block.transactions))
-            self._deliver_block_inner(block, consensus_rejected)
+            with profiled("fabric.deliver"):
+                self._deliver_block_inner(block, consensus_rejected)
 
     def _deliver_block_inner(self, block: Block, consensus_rejected: frozenset[str]) -> None:
         self.rejected_by_block[block.number] = consensus_rejected
@@ -239,7 +241,8 @@ class Channel:
         with obs_span("fabric.endorse") as sp:
             sp.set_attr("chaincode", chaincode)
             sp.set_attr("fn", fn)
-            proposal = self._build_proposal(identity, chaincode, fn, args, transient)
+            with profiled("endorse.propose"):
+                proposal = self._build_proposal(identity, chaincode, fn, args, transient)
             orgs = self._endorsing_orgs(chaincode, endorsing_orgs)
             responses: list[ProposalResponse] = []
             attempts: list[EndorsementAttempt] = []
@@ -294,24 +297,25 @@ class Channel:
         self, proposal: TxProposal, responses: list[ProposalResponse]
     ) -> Transaction:
         """Client-side checks + transaction assembly."""
-        failures = [r for r in responses if not r.success]
-        if failures:
-            raise ChaincodeError(failures[0].message)
-        digests = {r.rwset.digest() for r in responses}
-        if len(digests) != 1:
-            raise EndorsementError(
-                "endorsers produced divergent read/write sets "
-                "(non-deterministic chaincode or state skew)"
+        with profiled("fabric.assemble"):
+            failures = [r for r in responses if not r.success]
+            if failures:
+                raise ChaincodeError(failures[0].message)
+            digests = {r.rwset.digest() for r in responses}
+            if len(digests) != 1:
+                raise EndorsementError(
+                    "endorsers produced divergent read/write sets "
+                    "(non-deterministic chaincode or state skew)"
+                )
+            first = responses[0]
+            return Transaction(
+                proposal=proposal,
+                rwset=first.rwset,
+                response=first.response,
+                endorsements=tuple(r.endorsement for r in responses),
+                events=first.events,
+                private_data=first.private_data,
             )
-        first = responses[0]
-        return Transaction(
-            proposal=proposal,
-            rwset=first.rwset,
-            response=first.response,
-            endorsements=tuple(r.endorsement for r in responses),
-            events=first.events,
-            private_data=first.private_data,
-        )
 
     def invoke(
         self,

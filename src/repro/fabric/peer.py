@@ -42,6 +42,7 @@ from repro.fabric.tx import (
     ValidationCode,
 )
 from repro.fabric.worldstate import Version, WorldState
+from repro.obs.prof import profiled
 from repro.obs.tracer import span as obs_span
 
 
@@ -138,7 +139,8 @@ class Peer:
         with obs_span("fabric.peer.endorse") as sp:
             sp.set_attr("peer", self.name)
             sp.set_attr("chaincode", proposal.chaincode)
-            response = self._endorse_inner(proposal)
+            with profiled("endorse.process"):
+                response = self._endorse_inner(proposal)
             if self.sanitizer is not None:
                 self.sanitizer.check_endorsement(self, proposal, response)
             return response
@@ -152,7 +154,8 @@ class Peer:
         definition = self.chaincodes.get(proposal.chaincode)
         stub = self._make_stub(proposal, proposal.chaincode)
         try:
-            response = definition.chaincode.dispatch(stub, proposal.fn, list(proposal.args))
+            with profiled("endorse.simulate"):
+                response = definition.chaincode.dispatch(stub, proposal.fn, list(proposal.args))
             success, message = True, ""
         except ChaincodeError as exc:
             self.stats.endorsement_failures += 1
@@ -207,6 +210,18 @@ class Peer:
         written_this_block: dict[str, Version],
         consensus_rejected: frozenset[str],
     ) -> ValidationCode:
+        with profiled("fabric.validate"):
+            return self._validate_tx_inner(
+                tx, block_number, written_this_block, consensus_rejected
+            )
+
+    def _validate_tx_inner(
+        self,
+        tx: Transaction,
+        block_number: int,
+        written_this_block: dict[str, Version],
+        consensus_rejected: frozenset[str],
+    ) -> ValidationCode:
         if tx.tx_id in consensus_rejected:
             return ValidationCode.REJECTED_BY_CONSENSUS
         if self.ledger.has_tx(tx.tx_id):
@@ -250,7 +265,8 @@ class Peer:
         with obs_span("fabric.peer.commit") as sp:
             sp.set_attr("peer", self.name)
             sp.set_attr("block", block.number)
-            annotated = self._commit_block_inner(block, consensus_rejected)
+            with profiled("fabric.commit"):
+                annotated = self._commit_block_inner(block, consensus_rejected)
             if self.sanitizer is not None:
                 self.sanitizer.check_commit(self, annotated)
             if self.journal is not None:
@@ -275,21 +291,23 @@ class Peer:
                     written_this_block[write.key] = version
         annotated = block.with_validation(codes)
         self.ledger.append(annotated)
-        for tx_num, tx in staged:
-            version = Version(block=block.number, tx=tx_num)
-            for write in tx.rwset.writes:
-                self.world.apply_write(
-                    key=write.key,
-                    value=None if write.is_delete else write.value,
-                    version=version,
-                    tx_id=tx.tx_id,
-                    timestamp=block.header.timestamp,
-                )
-            self._apply_private(tx, version, block.header.timestamp)
+        with profiled("state.apply"):
+            for tx_num, tx in staged:
+                version = Version(block=block.number, tx=tx_num)
+                for write in tx.rwset.writes:
+                    self.world.apply_write(
+                        key=write.key,
+                        value=None if write.is_delete else write.value,
+                        version=version,
+                        tx_id=tx.tx_id,
+                        timestamp=block.header.timestamp,
+                    )
+                self._apply_private(tx, version, block.header.timestamp)
         # Index after ledger append + state writes: a block the ledger
         # rejects must never advance the index.
         if self.index is not None:
-            self.index.apply_block(annotated)
+            with profiled("index.apply"):
+                self.index.apply_block(annotated)
         self.stats.blocks_committed += 1
         self.stats.txs_valid += len(staged)
         self.stats.txs_invalid += len(block.transactions) - len(staged)
@@ -327,4 +345,5 @@ class Peer:
         )
         definition = self.chaincodes.get(proposal.chaincode)
         stub = self._make_stub(proposal, proposal.chaincode)
-        return definition.chaincode.dispatch(stub, proposal.fn, list(proposal.args))
+        with profiled("endorse.simulate"):
+            return definition.chaincode.dispatch(stub, proposal.fn, list(proposal.args))

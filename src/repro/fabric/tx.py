@@ -22,6 +22,7 @@ from enum import Enum
 
 from repro.fabric.identity import IdentityInfo
 from repro.fabric.worldstate import Version
+from repro.obs.prof import profiled
 from repro.util.serialization import canonical_json
 
 
@@ -192,19 +193,20 @@ class Transaction:
 
     def envelope_bytes(self) -> bytes:
         """Canonical bytes of the full transaction (hashed into blocks)."""
-        return canonical_json(
-            {
-                "proposal": self.proposal.signing_payload().decode("utf-8"),
-                "proposal_sig": self.proposal.signature.hex(),
-                "rwset": self.rwset.to_dict(),
-                "response": self.response,
-                "endorsements": [
-                    {"endorser": e.endorser.to_dict(), "sig": e.signature.hex()}
-                    for e in self.endorsements
-                ],
-                "events": [ev.to_dict() for ev in self.events],
-            }
-        )
+        with profiled("serialize.envelope"):
+            return canonical_json(
+                {
+                    "proposal": self.proposal.signing_payload().decode("utf-8"),
+                    "proposal_sig": self.proposal.signature.hex(),
+                    "rwset": self.rwset.to_dict(),
+                    "response": self.response,
+                    "endorsements": [
+                        {"endorser": e.endorser.to_dict(), "sig": e.signature.hex()}
+                        for e in self.endorsements
+                    ],
+                    "events": [ev.to_dict() for ev in self.events],
+                }
+            )
 
 
 @dataclass(frozen=True)

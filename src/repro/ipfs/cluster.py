@@ -164,7 +164,9 @@ class IpfsCluster:
                 sp.set_attr("failover_from", target.peer_id)
                 target = self.node(None)
             sp.set_attr("node", target.peer_id)
-            results = parallel_map(target.add_bytes, payloads, max_workers=max_workers)
+            results = parallel_map(
+                target.add_bytes, payloads, max_workers=max_workers, queue="ipfs.add"
+            )
             if announce:
                 for result in results:
                     self.dht.provide(target.peer_id, result.cid)
@@ -185,7 +187,10 @@ class IpfsCluster:
         with obs_span("ipfs.cat_many") as sp:
             sp.set_attr("items", len(cids))
             return parallel_map(
-                lambda cid: self.cat(cid, node=node), cids, max_workers=max_workers
+                lambda cid: self.cat(cid, node=node),
+                cids,
+                max_workers=max_workers,
+                queue="ipfs.cat",
             )
 
     def providers_for(self, cid: CID, requester: str) -> list[str]:

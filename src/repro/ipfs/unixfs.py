@@ -18,6 +18,7 @@ from repro.ipfs.block import Block
 from repro.ipfs.blockstore import Blockstore
 from repro.ipfs.chunker import Chunker, FixedSizeChunker
 from repro.ipfs.dag import DagLink, DagNode, DagService
+from repro.obs.prof import profiled
 
 DEFAULT_FANOUT = 174  # go-ipfs balanced-DAG default
 
@@ -57,29 +58,31 @@ class UnixFS:
         """Store ``data`` and return its root CID."""
         leaves: list[DagLink] = []
         n_leaves = 0
-        for chunk in self.chunker.chunks(data):
-            block = Block.for_data(chunk)
-            self.blockstore.put(block)
-            leaves.append(DagLink(name="", cid=block.cid, tsize=len(chunk)))
-            n_leaves += 1
+        with profiled("ipfs.chunk", n_bytes=len(data)):
+            for chunk in self.chunker.chunks(data):
+                block = Block.for_data(chunk)
+                self.blockstore.put(block)
+                leaves.append(DagLink(name="", cid=block.cid, tsize=len(chunk)))
+                n_leaves += 1
 
         if len(leaves) == 1:
             # Single chunk: the raw block itself is the file.
             return AddResult(cid=leaves[0].cid, size=len(data), n_leaves=1, n_nodes=0)
 
-        level = leaves
-        n_nodes = 0
-        while len(level) > 1:
-            parents: list[DagLink] = []
-            for start in range(0, len(level), self.fanout):
-                group = level[start : start + self.fanout]
-                node = DagNode(data=_FILE_NODE_DATA, links=tuple(group))
-                cid = self.dag.put(node)
-                n_nodes += 1
-                parents.append(
-                    DagLink(name="", cid=cid, tsize=sum(l.tsize for l in group))
-                )
-            level = parents
+        with profiled("ipfs.dag"):
+            level = leaves
+            n_nodes = 0
+            while len(level) > 1:
+                parents: list[DagLink] = []
+                for start in range(0, len(level), self.fanout):
+                    group = level[start : start + self.fanout]
+                    node = DagNode(data=_FILE_NODE_DATA, links=tuple(group))
+                    cid = self.dag.put(node)
+                    n_nodes += 1
+                    parents.append(
+                        DagLink(name="", cid=cid, tsize=sum(l.tsize for l in group))
+                    )
+                level = parents
         return AddResult(cid=level[0].cid, size=len(data), n_leaves=n_leaves, n_nodes=n_nodes)
 
     # -- read path -----------------------------------------------------------
@@ -87,7 +90,9 @@ class UnixFS:
     def read_file(self, root: CID) -> bytes:
         """Reassemble a file from its root CID, verifying every block."""
         out = bytearray()
-        self._read_into(root, out)
+        with profiled("ipfs.read") as pf:
+            self._read_into(root, out)
+            pf.add_bytes(len(out))
         return bytes(out)
 
     def _read_into(self, cid: CID, out: bytearray) -> None:

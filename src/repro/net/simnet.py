@@ -26,6 +26,7 @@ from typing import Any, Callable
 from repro.errors import NetworkError, NodeUnreachableError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
+from repro.obs.prof import profiled
 from repro.obs.tracer import current_context, get_tracer
 from repro.util.clock import SimClock
 from repro.util.rng import rng_for
@@ -208,7 +209,8 @@ class SimNetwork:
             tap(msg)
         tracer = get_tracer()
         if tracer is None:
-            self._handlers[msg.dst](msg)
+            with profiled("net.deliver"):
+                self._handlers[msg.dst](msg)
             return
         # Restore the remote parent: the handler (and every span it opens)
         # joins the sender's trace, turning per-node span trees into one
@@ -219,7 +221,8 @@ class SimNetwork:
             attrs={"src": msg.src, "node": msg.dst, "kind": msg.kind},
             remote_parent=msg.trace_ctx,
         ):
-            self._handlers[msg.dst](msg)
+            with profiled("net.deliver"):
+                self._handlers[msg.dst](msg)
 
     # -- event loop -----------------------------------------------------------
 
@@ -242,13 +245,19 @@ class SimNetwork:
         self._running = True
         processed = 0
         try:
-            while self._events and processed < max_events:
-                if until is not None and self._events[0].time > until:
-                    break
-                event = heapq.heappop(self._events)
-                self.clock.advance_to(event.time)
-                event.action()
-                processed += 1
+            # net.run's *exclusive* time is the drain machinery (heap pops,
+            # clock advances); each action runs under net.dispatch, whose
+            # own exclusive is the span/delivery machinery around the
+            # handler — frames opened inside subtract themselves out.
+            with profiled("net.run"):
+                while self._events and processed < max_events:
+                    if until is not None and self._events[0].time > until:
+                        break
+                    event = heapq.heappop(self._events)
+                    self.clock.advance_to(event.time)
+                    with profiled("net.dispatch"):
+                        event.action()
+                    processed += 1
         finally:
             self._running = False
         if until is not None and self.clock.now() < until:

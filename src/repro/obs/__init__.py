@@ -18,7 +18,15 @@ Explorer, built in:
   ``chrome://tracing`` / Perfetto.
 * **Breakdown** (:mod:`repro.obs.breakdown`): :func:`pipeline_breakdown`
   reproduces the paper's per-stage storage/retrieval latency decomposition
-  (Figs. 5–6) from real spans.
+  (Figs. 5–6) from real spans, with per-stage cost-center rows and explicit
+  ``other`` residuals when the profiler ran alongside the tracer.
+* **Profiler** (:mod:`repro.obs.prof`): deterministic cost-center profiler
+  — :func:`profiled` frames over crypto/serialization/consensus/IPFS hot
+  paths with exact inclusive/exclusive time, bytes, lock wait/hold and
+  queue-wait telemetry, collapsed-stack + Chrome-trace export, and a
+  seeded-run :meth:`Profiler.fingerprint`. Opt-in via
+  :func:`enable_profiler` / scoped :func:`profiling`; disabled,
+  :func:`profiled` returns a shared no-op probe (zero allocation).
 * **Critical path** (:mod:`repro.obs.critpath`): with trace contexts
   propagated across :mod:`repro.net` messages, :func:`critical_path`
   extracts the longest dependency chain of a committed tx across client,
@@ -75,6 +83,24 @@ from repro.obs.metrics import (
     escape_label_value,
     get_registry,
     set_registry,
+)
+from repro.obs.prof import (
+    CenterStat,
+    LockStat,
+    ProfileReport,
+    Profiler,
+    QueueStat,
+    collapsed_stacks,
+    disable_profiler,
+    enable_profiler,
+    get_profiler,
+    invoke_coverage,
+    profiled,
+    profiled_call,
+    profiling,
+    set_profiler,
+    write_chrome_trace_tree,
+    write_collapsed,
 )
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
 from repro.obs.tracer import (
@@ -196,6 +222,22 @@ __all__ = [
     "escape_label_value",
     "get_registry",
     "set_registry",
+    "CenterStat",
+    "LockStat",
+    "ProfileReport",
+    "Profiler",
+    "QueueStat",
+    "collapsed_stacks",
+    "disable_profiler",
+    "enable_profiler",
+    "get_profiler",
+    "invoke_coverage",
+    "profiled",
+    "profiled_call",
+    "profiling",
+    "set_profiler",
+    "write_chrome_trace_tree",
+    "write_collapsed",
     "NOOP_SPAN",
     "NoopSpan",
     "Span",

@@ -8,7 +8,16 @@ reproduces that decomposition from *real* spans of a traced run: every
 sample's wall time is attributed stage by stage using **exclusive** span
 times (a span's duration minus its children's), so nested instrumentation
 never double-counts and the stage totals sum back to the measured
-end-to-end wall time, minus only genuinely uninstrumented gaps.
+end-to-end wall time, minus only genuinely uninstrumented gaps — and those
+gaps are no longer silent: any wall time the stages don't explain shows up
+as an explicit ``other`` row rather than only depressing the coverage
+figure.
+
+When the cost-center profiler (:mod:`repro.obs.prof`) ran alongside the
+tracer, each stage additionally decomposes into the cost centers recorded
+inside its spans (``crypto.sign``, ``serialize.canonical_json``, ...),
+with a per-stage ``other`` sub-row for whatever the centers leave
+unexplained.
 """
 
 from __future__ import annotations
@@ -74,6 +83,23 @@ STAGE_LABELS = {
 
 UNATTRIBUTED = "(uninstrumented)"
 
+# Explicit residual label, at both levels: a pipeline-level ``other`` stage
+# (wall time no stage explains) and a per-stage ``other`` center (stage time
+# no cost center explains).
+OTHER = "other"
+
+# Residuals below this are timer noise, not a missing instrument.
+_RESIDUAL_EPS_S = 1e-9
+
+
+@dataclass(frozen=True)
+class CenterTime:
+    """One cost center's contribution within a stage (calls, seconds)."""
+
+    center: str
+    calls: int
+    total_s: float
+
 
 @dataclass(frozen=True)
 class StageTime:
@@ -81,6 +107,9 @@ class StageTime:
     count: int
     total_s: float
     share: float  # fraction of the pipeline's wall time
+    # Cost-center decomposition of this stage (empty without a profiler);
+    # includes a trailing ``other`` row when the centers leave a residual.
+    centers: tuple[CenterTime, ...] = ()
 
     @property
     def mean_s(self) -> float:
@@ -96,7 +125,9 @@ class PipelineBreakdown:
 
     @property
     def attributed_s(self) -> float:
-        return sum(s.total_s for s in self.stages if s.stage != UNATTRIBUTED)
+        return sum(
+            s.total_s for s in self.stages if s.stage not in (UNATTRIBUTED, OTHER)
+        )
 
     @property
     def coverage(self) -> float:
@@ -108,16 +139,42 @@ def _exclusive_s(span: Span, children: list[Span]) -> float:
     return max(0.0, span.duration_s - sum(c.duration_s for c in children))
 
 
-def pipeline_breakdown(tracer: Tracer | None = None) -> dict[str, PipelineBreakdown]:
+def _center_rows(
+    centers: dict[str, list] | None, stage_total_s: float
+) -> tuple[CenterTime, ...]:
+    """Sorted center rows for one stage, plus an ``other`` residual row."""
+    if not centers:
+        return ()
+    rows = [CenterTime(center=c, calls=acc[0], total_s=acc[1]) for c, acc in centers.items()]
+    rows.sort(key=lambda r: (-r.total_s, r.center))
+    residual = stage_total_s - sum(r.total_s for r in rows)
+    if residual > _RESIDUAL_EPS_S:
+        rows.append(CenterTime(center=OTHER, calls=0, total_s=residual))
+    return tuple(rows)
+
+
+def pipeline_breakdown(
+    tracer: Tracer | None = None, profiler=None
+) -> dict[str, PipelineBreakdown]:
     """Aggregate a traced run into per-stage storage/retrieval breakdowns.
 
     Returns ``{"storage": ..., "retrieval": ...}`` (keys present only when
-    the trace contains such roots).
+    the trace contains such roots). When a cost-center profiler is active
+    (or passed explicitly), every stage also carries the cost centers
+    recorded inside its spans, and residuals surface as ``other`` rows at
+    both the stage and the pipeline level.
     """
     tracer = tracer or get_tracer()
     if tracer is None:
         return {}
+    if profiler is None:
+        from repro.obs.prof import get_profiler
+
+        profiler = get_profiler()
+    span_centers = profiler.span_center_seconds() if profiler is not None else {}
     acc: dict[str, dict[str, list[float]]] = {}
+    # pipeline -> stage -> center -> [calls, seconds]
+    centers_acc: dict[str, dict[str, dict[str, list]]] = {}
     wall: dict[str, float] = {}
     samples: dict[str, int] = {}
     for root in tracer.roots():
@@ -127,33 +184,59 @@ def pipeline_breakdown(tracer: Tracer | None = None) -> dict[str, PipelineBreakd
         wall[pipeline] = wall.get(pipeline, 0.0) + root.duration_s
         samples[pipeline] = samples.get(pipeline, 0) + 1
         stages = acc.setdefault(pipeline, {})
+        pcenters = centers_acc.setdefault(pipeline, {})
         # Walk the *execution* view: remote spans (message deliveries) nest
         # under the frame that ran them, not under their causal sender —
         # the view where child intervals sit inside the parent's, which
         # exclusive-time accounting needs to partition wall time without
         # double-booking seconds.
         for span in [root, *tracer.descendants(root, view="exec")]:
-            kids = tracer.children(span, view="exec")
-            exclusive = _exclusive_s(span, kids)
-            if exclusive <= 0.0:
-                continue
             if span is root:
                 stage = UNATTRIBUTED
             else:
                 stage = STAGE_LABELS.get(span.name, span.name)
+            for center, (calls, seconds) in span_centers.get(span.span_id, {}).items():
+                cacc = pcenters.setdefault(stage, {}).setdefault(center, [0, 0.0])
+                cacc[0] += calls
+                cacc[1] += seconds
+            kids = tracer.children(span, view="exec")
+            exclusive = _exclusive_s(span, kids)
+            if exclusive <= 0.0:
+                continue
             stages.setdefault(stage, []).append(exclusive)
     out: dict[str, PipelineBreakdown] = {}
     for pipeline, stages in acc.items():
+        pcenters = centers_acc.get(pipeline, {})
         rows = [
             StageTime(
                 stage=stage,
                 count=len(times),
                 total_s=sum(times),
                 share=(sum(times) / wall[pipeline]) if wall[pipeline] > 0 else 0.0,
+                centers=_center_rows(pcenters.get(stage), sum(times)),
             )
             for stage, times in stages.items()
         ]
+        # A stage can carry centers without ever having positive exclusive
+        # time of its own (all its wall time sat in child spans); keep it
+        # visible rather than dropping the centers on the floor.
+        for stage, cmap in pcenters.items():
+            if stage not in stages:
+                rows.append(StageTime(stage, 0, 0.0, 0.0, centers=_center_rows(cmap, 0.0)))
         rows.sort(key=lambda r: r.total_s, reverse=True)
+        # Wall time that no stage explains (non-nesting spans, clamped
+        # exclusives): an explicit ``other`` stage instead of a silent
+        # coverage shortfall.
+        gap = wall[pipeline] - sum(r.total_s for r in rows)
+        if gap > _RESIDUAL_EPS_S:
+            rows.append(
+                StageTime(
+                    stage=OTHER,
+                    count=0,
+                    total_s=gap,
+                    share=(gap / wall[pipeline]) if wall[pipeline] > 0 else 0.0,
+                )
+            )
         out[pipeline] = PipelineBreakdown(
             pipeline=pipeline,
             samples=samples[pipeline],
@@ -173,11 +256,18 @@ def render_breakdown(breakdowns: dict[str, PipelineBreakdown]) -> str:
         if bd is None:
             continue
         fig = "Fig. 5" if pipeline == "storage" else "Fig. 6"
-        rows = [
-            [s.stage, s.count, f"{s.total_s * 1e3:.3f}", f"{s.mean_s * 1e3:.3f}",
-             f"{s.share * 100:.1f}%"]
-            for s in bd.stages
-        ]
+        rows = []
+        for s in bd.stages:
+            rows.append(
+                [s.stage, s.count, f"{s.total_s * 1e3:.3f}", f"{s.mean_s * 1e3:.3f}",
+                 f"{s.share * 100:.1f}%"]
+            )
+            for c in s.centers:
+                c_share = (c.total_s / bd.wall_s * 100) if bd.wall_s > 0 else 0.0
+                rows.append(
+                    [f"  . {c.center}", c.calls or "", f"{c.total_s * 1e3:.3f}", "",
+                     f"{c_share:.1f}%"]
+                )
         rows.append(["TOTAL (wall)", bd.samples, f"{bd.wall_s * 1e3:.3f}", "", "100.0%"])
         blocks.append(
             format_table(

@@ -36,6 +36,7 @@ from repro.fabric.channel import Channel
 from repro.fabric.identity import Identity
 from repro.ipfs.cluster import IpfsCluster
 from repro.obs.metrics import get_registry
+from repro.obs.prof import profiled
 from repro.obs.tracer import span as obs_span
 from repro.query.ast import Query
 from repro.query.parser import parse_query
@@ -210,6 +211,7 @@ class QueryEngine:
                     lambda record: self.fetch_payload_verified(record, verify=verify),
                     matched,
                     max_workers=self.fetch_workers,
+                    queue="query.fetch",
                 )
                 rows = [
                     QueryRow(record=record, data=data, verified=verified)
@@ -437,7 +439,8 @@ class QueryEngine:
                     return data, False
                 with self._stats_lock:
                     self.stats.integrity_checks += 1
-                actual = hashlib.sha256(data).hexdigest()
+                with profiled("crypto.hash", n_bytes=len(data)):
+                    actual = hashlib.sha256(data).hexdigest()
                 if actual != stored_hash:
                     raise IntegrityError(
                         f"data for entry {record.get('entry_id')} does not match the "

@@ -24,6 +24,7 @@ from repro.fabric.tx import (
     WriteEntry,
 )
 from repro.fabric.worldstate import Version
+from repro.obs.prof import profiled
 
 
 def _version_doc(version: Version | None) -> dict | None:
@@ -132,27 +133,29 @@ def tx_from_doc(doc: dict) -> Transaction:
 
 
 def block_to_doc(block: Block) -> dict:
-    return {
-        "header": {
-            "number": block.header.number,
-            "previous_hash": block.header.previous_hash,
-            "data_hash": block.header.data_hash,
-            "timestamp": block.header.timestamp,
-        },
-        "txs": [tx_to_doc(tx) for tx in block.transactions],
-        "codes": [code.value for code in block.validation_codes],
-    }
+    with profiled("serialize.block_codec"):
+        return {
+            "header": {
+                "number": block.header.number,
+                "previous_hash": block.header.previous_hash,
+                "data_hash": block.header.data_hash,
+                "timestamp": block.header.timestamp,
+            },
+            "txs": [tx_to_doc(tx) for tx in block.transactions],
+            "codes": [code.value for code in block.validation_codes],
+        }
 
 
 def block_from_doc(doc: dict) -> Block:
-    header = doc["header"]
-    return Block(
-        header=BlockHeader(
-            number=int(header["number"]),
-            previous_hash=header["previous_hash"],
-            data_hash=header["data_hash"],
-            timestamp=float(header["timestamp"]),
-        ),
-        transactions=tuple(tx_from_doc(tx) for tx in doc["txs"]),
-        validation_codes=tuple(ValidationCode(code) for code in doc["codes"]),
-    )
+    with profiled("serialize.block_codec"):
+        header = doc["header"]
+        return Block(
+            header=BlockHeader(
+                number=int(header["number"]),
+                previous_hash=header["previous_hash"],
+                data_hash=header["data_hash"],
+                timestamp=float(header["timestamp"]),
+            ),
+            transactions=tuple(tx_from_doc(tx) for tx in doc["txs"]),
+            validation_codes=tuple(ValidationCode(code) for code in doc["codes"]),
+        )

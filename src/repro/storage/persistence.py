@@ -56,6 +56,7 @@ from repro.fabric.snapshot import (
 )
 from repro.fabric.worldstate import Version, WorldState
 from repro.obs.metrics import get_registry
+from repro.obs.prof import profiled
 from repro.obs.tracer import span as obs_span
 from repro.storage.codec import block_from_doc, block_to_doc, tx_to_doc
 from repro.storage.durable import DurableStore
@@ -151,44 +152,47 @@ class DurabilityManager:
         index_epoch = None
         if getattr(peer, "index", None) is not None:
             index_epoch = peer.index.epochs.get(block.number)
-        store.append(
-            WAL_LOG,
-            canonical_json(
-                {
-                    "type": "block",
-                    "block": block_to_doc(block),
-                    "rejected": sorted(consensus_rejected or ()),
-                    "index_epoch": index_epoch,
-                }
-            ),
-        )
-        self.stats.wal_records += 1
-        height = peer.ledger.height
-        if height % self.wal_sync_every == 0:
-            store.sync()
+        with profiled("storage.wal"):
+            store.append(
+                WAL_LOG,
+                canonical_json(
+                    {
+                        "type": "block",
+                        "block": block_to_doc(block),
+                        "rejected": sorted(consensus_rejected or ()),
+                        "index_epoch": index_epoch,
+                    }
+                ),
+            )
+            self.stats.wal_records += 1
+            height = peer.ledger.height
+            if height % self.wal_sync_every == 0:
+                store.sync()
         if self.checkpoint_interval > 0 and height % self.checkpoint_interval == 0:
             self.checkpoint_peer(peer)
 
     def record_submit(self, tx) -> None:
         """A tx entered the orderer queue — deliberately *not* synced: queued
         but uncut transactions are exactly what an orderer crash loses."""
-        self.orderer_store.append(
-            WAL_LOG, canonical_json({"type": "submit", "tx_id": tx.tx_id})
-        )
+        with profiled("storage.wal"):
+            self.orderer_store.append(
+                WAL_LOG, canonical_json({"type": "submit", "tx_id": tx.tx_id})
+            )
 
     def record_batch(self, request_id: str, txs) -> None:
         """A batch went to consensus: persist it (synced) with full tx docs."""
-        self.orderer_store.append(
-            WAL_LOG,
-            canonical_json(
-                {
-                    "type": "batch",
-                    "request_id": request_id,
-                    "txs": [tx_to_doc(tx) for tx in txs],
-                }
-            ),
-        )
-        self.orderer_store.sync()
+        with profiled("storage.wal"):
+            self.orderer_store.append(
+                WAL_LOG,
+                canonical_json(
+                    {
+                        "type": "batch",
+                        "request_id": request_id,
+                        "txs": [tx_to_doc(tx) for tx in txs],
+                    }
+                ),
+            )
+            self.orderer_store.sync()
 
     # -- checkpoints -----------------------------------------------------------
 
@@ -197,13 +201,14 @@ class DurabilityManager:
         store = self.stores.get(peer.name)
         if store is None:
             return
-        snapshot = take_snapshot(peer, self.channel.name)
-        store.write_file(CHECKPOINT_FILE, snapshot.to_bytes())
-        store.write_file(PRIVATE_FILE, canonical_json(self._private_doc(peer)))
-        if getattr(peer, "index", None) is not None:
-            store.write_file(INDEX_FILE, canonical_json(peer.index.to_doc()))
-        store.truncate_log(WAL_LOG)
-        store.sync()
+        with profiled("storage.checkpoint"):
+            snapshot = take_snapshot(peer, self.channel.name)
+            store.write_file(CHECKPOINT_FILE, snapshot.to_bytes())
+            store.write_file(PRIVATE_FILE, canonical_json(self._private_doc(peer)))
+            if getattr(peer, "index", None) is not None:
+                store.write_file(INDEX_FILE, canonical_json(peer.index.to_doc()))
+            store.truncate_log(WAL_LOG)
+            store.sync()
         self.stats.checkpoints += 1
         get_registry().counter("checkpoints_total").inc()
         self.checkpoint_validators()

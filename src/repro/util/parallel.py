@@ -17,6 +17,11 @@ Two properties matter for the rest of the system:
   parent correctly under the caller's span instead of becoming orphan
   roots — the per-stage breakdown keeps summing to the wall time.
 
+When the cost-center profiler is enabled, each pooled task additionally
+records its submit→start delay under the ``queue.wait`` center (detailed
+per ``queue`` name), so pool saturation shows up as a first-class profile
+row instead of vanishing into callers' wall time.
+
 Single-item and ``max_workers<=1`` calls run inline (no pool, no thread
 hop), which keeps the common interactive path allocation-free.
 """
@@ -27,6 +32,8 @@ import contextvars
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, TypeVar
+
+from repro.obs.prof import get_profiler, run_queued
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -48,24 +55,36 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     max_workers: int | None = None,
+    queue: str = "parallel",
 ) -> list[R]:
     """Apply ``fn`` to every item, overlapping calls on a thread pool.
 
     Equivalent to ``[fn(x) for x in items]`` in results, ordering, and
     error behaviour; ``max_workers=1`` (or a single item) forces the
-    serial path.
+    serial path. ``queue`` names this pool in queue-wait telemetry when
+    the profiler is on.
     """
     items = list(items)
     workers = effective_workers(len(items), max_workers)
     if workers <= 1:
         return [fn(item) for item in items]
+    profiler = get_profiler()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            # A fresh context copy per task: concurrent tasks must not
-            # share one Context (contextvars forbids concurrent run()).
-            pool.submit(contextvars.copy_context().run, fn, item)
-            for item in items
-        ]
+        if profiler is None:
+            futures = [
+                # A fresh context copy per task: concurrent tasks must not
+                # share one Context (contextvars forbids concurrent run()).
+                pool.submit(contextvars.copy_context().run, fn, item)
+                for item in items
+            ]
+        else:
+            clock = profiler.clock
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run, run_queued, queue, clock(), fn, item
+                )
+                for item in items
+            ]
         results, first_error = [], None
         for future in futures:
             if first_error is not None:

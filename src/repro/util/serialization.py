@@ -15,6 +15,7 @@ import math
 from typing import Any
 
 from repro.errors import EncodingError
+from repro.obs.prof import profiled
 
 _SCALARS = (str, int, bool, type(None))
 
@@ -43,15 +44,19 @@ def _check(value: Any, depth: int = 0) -> None:
 
 def canonical_json(value: Any) -> bytes:
     """Render ``value`` to canonical JSON bytes (sorted keys, compact)."""
-    _check(value)
-    return json.dumps(
-        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
-    ).encode("utf-8")
+    with profiled("serialize.canonical_json") as pf:
+        _check(value)
+        out = json.dumps(
+            value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        pf.add_bytes(len(out))
+        return out
 
 
 def from_canonical_json(data: bytes) -> Any:
     """Parse canonical JSON bytes back into Python values."""
-    try:
-        return json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise EncodingError(f"invalid canonical JSON: {exc}") from exc
+    with profiled("serialize.decode", n_bytes=len(data)):
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise EncodingError(f"invalid canonical JSON: {exc}") from exc
