@@ -1,31 +1,51 @@
-"""repro.analysis — determinism linter + runtime sanitizers.
+"""repro.analysis — determinism linter, flow analyzer, runtime sanitizers.
 
-Three cooperating layers keep the framework's trust story machine-checked:
+Four cooperating layers keep the framework's trust story machine-checked:
 
 * :mod:`repro.analysis.linter` — ``reprolint``, an AST analyzer with
   determinism rules for chaincode modules (DET1xx) and repo-wide
   concurrency/error-handling hygiene rules (HYG2xx);
+* :mod:`repro.analysis.flow` — ``repro flowcheck``, whole-program
+  interprocedural analysis: nondeterminism taint reaching
+  consensus-critical sinks (FLOW5xx) and static lock-order / shared-state
+  checks (FLOW6xx) over an alias-resolved call graph;
 * :mod:`repro.analysis.runtime` (+ :mod:`divergence`, :mod:`invariants`,
   :mod:`lockcheck`) — sanitizers (SAN3xx/SAN4xx) toggled by
   ``REPRO_SANITIZE``/``--sanitize`` that re-simulate endorsements, audit
   ledger invariants at every commit, and detect lock-order inversions;
-* :mod:`repro.analysis.baseline` — the accepted-findings baseline the
-  ``lint-gate`` CI job diffs against.
+* :mod:`repro.analysis.baseline` — the accepted-findings baselines the
+  ``lint-gate`` and ``flow-gate`` CI jobs diff against.
+
+Both static layers parse through :mod:`repro.analysis.astcache`, so one
+process (or one CI cache directory) parses each module once.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and workflows.
 """
 
 from .baseline import diff_baseline, load_baseline, write_baseline
+from .flow import analyze_paths as flow_analyze_paths
+from .flow import build_program
 from .invariants import check_store
 from .linter import lint_file, lint_paths, lint_source
 from .lockcheck import (
     GuardedShared,
     LockRegistry,
+    TimedLock,
     TrackedLock,
     guard_shared,
+    lock_name,
     make_lock,
+    unwrap_tracked,
 )
-from .rules import RULES, Finding, Pragmas, Rule, get_rule, parse_pragmas
+from .rules import (
+    RULES,
+    Finding,
+    FlowFinding,
+    Pragmas,
+    Rule,
+    get_rule,
+    parse_pragmas,
+)
 from .runtime import (
     Sanitizer,
     SanitizerReport,
@@ -38,16 +58,20 @@ from .runtime import (
 __all__ = [
     "RULES",
     "Finding",
+    "FlowFinding",
     "GuardedShared",
     "LockRegistry",
     "Pragmas",
     "Rule",
     "Sanitizer",
     "SanitizerReport",
+    "TimedLock",
     "TrackedLock",
+    "build_program",
     "check_store",
     "diff_baseline",
     "enabled_modes",
+    "flow_analyze_paths",
     "get_rule",
     "guard_shared",
     "install_sanitizers",
@@ -56,8 +80,10 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "lock_name",
     "make_lock",
     "parse_modes",
     "parse_pragmas",
+    "unwrap_tracked",
     "write_baseline",
 ]

@@ -42,13 +42,20 @@ def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
 
 
 def write_baseline(path: str | Path, findings: list[Finding]) -> None:
-    """Record the current findings as accepted (``repro lint --update-baseline``)."""
+    """Record the current findings as accepted (``--update-baseline``).
+
+    Output is canonical: entries are deduplicated by identity key (two
+    findings at different lines can share one key) and sorted by
+    (path, rule, message), so the written file is byte-identical no matter
+    what order the analyzer traversed the tree in.
+    """
+    unique = {f.key(): f for f in findings}
     payload = {
         "version": BASELINE_VERSION,
         "findings": sorted(
             (
                 {"rule_id": f.rule_id, "path": f.path, "message": f.message}
-                for f in findings
+                for f in unique.values()
             ),
             key=lambda e: (e["path"], e["rule_id"], e["message"]),
         ),

@@ -1,0 +1,770 @@
+"""FLOW6xx — static lock-order and shared-state analysis.
+
+The runtime sanitizers (SAN401/SAN402) only see the interleavings a run
+happens to execute. This pass extracts the *static* lock structure from the
+same primitives — ``make_lock`` / ``threading.Lock()`` definitions,
+``with lock:`` regions, ``guard_shared`` registrations — and checks every
+code path the call graph can reach:
+
+* **FLOW601** — lock-order cycles. Acquiring L2 while holding L1 adds the
+  edge L1→L2; acquisitions made *transitively* (a called function takes a
+  lock of its own) contribute edges too. Any cycle in the resulting graph
+  is a deadlock that needs only the right interleaving.
+* **FLOW602** — unguarded writes to thread-shared fields. A field written
+  with no lock held, inside a function reachable from a thread-entry edge
+  (``parallel_map`` worker, ``Thread`` target, executor submit), and
+  touched by more than one function, is a data race candidate.
+* **FLOW603** — blocking while holding a lock. A bare ``future.result()``,
+  queue wait, ``time.sleep`` or network call made (directly or through a
+  callee) inside a critical section serializes every contender behind the
+  slow operation.
+
+Held-lock sets are propagated interprocedurally as the *intersection over
+call sites* of the caller's effective held set — the set a function can
+rely on being held on **every** entry. The under-approximation direction
+is deliberate: it can miss an edge, never invent one, so FLOW601 findings
+are structural facts, not artifacts of the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .callgraph import FunctionInfo, Program, Resolver, _dotted_name
+
+# Lock identity: ("field", owner_class_qualname, attr) for instance locks,
+# ("global", module, var) for module-level locks, ("local", fn_qual, var)
+# for function-local / parameter locks.
+LockKey = tuple
+
+_LOCK_CTORS = frozenset({"threading.Lock", "threading.RLock"})
+_MAKE_LOCK = "make_lock"
+_LOCKISH_MARKERS = ("lock", "mutex")
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+# Receivers whose `.get(...)`/`.join()` is a genuine wait, not a dict/str op.
+_QUEUE_HINTS = ("queue",)
+_THREAD_HINTS = ("thread", "worker", "proc")
+_BLOCKING_EXTERNALS = frozenset({"time.sleep"})
+_BLOCKING_EXTERNAL_PREFIXES = ("requests.", "socket.", "urllib.", "http.client.")
+_PARALLEL_BARRIERS = frozenset({"repro.util.parallel.parallel_map"})
+_MAX_TRACE = 12
+
+
+def _lockish(name: str) -> bool:
+    low = name.lower()
+    return any(marker in low for marker in _LOCKISH_MARKERS)
+
+
+@dataclass(frozen=True)
+class LockDef:
+    key: LockKey
+    name: str          # user-facing name (make_lock arg, else qualified attr)
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Acquire:
+    key: LockKey
+    line: int
+    col: int
+    held_before: tuple[LockKey, ...]
+
+
+@dataclass(frozen=True)
+class CallFact:
+    target: str | None             # resolved program-function qualname
+    line: int
+    col: int
+    held: tuple[LockKey, ...]
+    blocking: str | None           # description when the call itself blocks
+
+
+@dataclass(frozen=True)
+class WriteFact:
+    attr: str
+    line: int
+    col: int
+    held: tuple[LockKey, ...]
+
+
+@dataclass
+class FuncFacts:
+    acquires: list[Acquire] = field(default_factory=list)
+    calls: list[CallFact] = field(default_factory=list)
+    writes: list[WriteFact] = field(default_factory=list)
+    fields_accessed: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class ConcurrencyFinding:
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    trace: tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Lock definition index
+# ---------------------------------------------------------------------------
+
+
+class LockIndex:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.defs: dict[LockKey, LockDef] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _lock_ctor_name(self, call: ast.expr, aliases: dict[str, str]) -> str | None:
+        """``make_lock("x")`` → "x"; ``threading.Lock()`` → "" (auto-named);
+        ``field(default_factory=…)`` unwraps to its factory. None = not a
+        lock constructor."""
+        if not isinstance(call, ast.Call):
+            return None
+        dotted = _dotted_name(call.func, aliases)
+        if dotted is None:
+            return None
+        if dotted in _LOCK_CTORS:
+            return ""
+        if dotted == _MAKE_LOCK or dotted.endswith(f".{_MAKE_LOCK}"):
+            if call.args and isinstance(call.args[0], ast.Constant) \
+                    and isinstance(call.args[0].value, str):
+                return call.args[0].value
+            return ""
+        if dotted == "dataclasses.field" or dotted == "field":
+            for kw in call.keywords:
+                if kw.arg != "default_factory":
+                    continue
+                factory = kw.value
+                if isinstance(factory, ast.Lambda):
+                    return self._lock_ctor_name(factory.body, aliases)
+                fdotted = _dotted_name(factory, aliases)
+                if fdotted in _LOCK_CTORS:
+                    return ""
+        return None
+
+    def _register(self, key: LockKey, name: str, path: str, line: int) -> None:
+        if not name:
+            # Auto-name from the key: "Class.attr" / "module.var".
+            owner = key[1].rsplit(".", 1)[-1]
+            name = f"{owner}.{key[2]}"
+        self.defs.setdefault(key, LockDef(key=key, name=name, path=path, line=line))
+
+    def collect(self) -> None:
+        program = self.program
+        for module in program.modules.values():
+            aliases = module.aliases
+            for node in module.tree.body:
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    self._scan_assign(node, aliases, module.path,
+                                      scope=("global", module.name))
+                elif isinstance(node, ast.ClassDef):
+                    cq = f"{module.name}.{node.name}"
+                    for item in node.body:
+                        if isinstance(item, (ast.Assign, ast.AnnAssign)):
+                            self._scan_assign(item, aliases, module.path,
+                                              scope=("classbody", cq))
+        for fn in program.functions.values():
+            aliases = program.modules[fn.module].aliases
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    self._scan_fn_assign(fn, stmt, aliases)
+
+    def _scan_assign(
+        self, node: ast.Assign | ast.AnnAssign, aliases: dict[str, str],
+        path: str, scope: tuple[str, str],
+    ) -> None:
+        value = node.value
+        if value is None:
+            return
+        name = self._lock_ctor_name(value, aliases)
+        if name is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                kind, owner = scope
+                key: LockKey = (
+                    ("global", owner, target.id) if kind == "global"
+                    else ("field", owner, target.id)
+                )
+                self._register(key, name, path, node.lineno)
+
+    def _scan_fn_assign(
+        self, fn: FunctionInfo, node: ast.Assign | ast.AnnAssign,
+        aliases: dict[str, str],
+    ) -> None:
+        value = node.value
+        if value is None:
+            return
+        name = self._lock_ctor_name(value, aliases)
+        if name is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name) \
+                    and target.value.id in ("self", "cls") and fn.class_qualname:
+                self._register(("field", fn.class_qualname, target.attr),
+                               name, fn.path, node.lineno)
+            elif isinstance(target, ast.Name):
+                self._register(("local", fn.qualname, target.id),
+                               name, fn.path, node.lineno)
+
+    # -- lookup ------------------------------------------------------------
+
+    def field_key(self, class_qualname: str | None, attr: str) -> LockKey | None:
+        """Find a field lock on the class or a declared base."""
+        if class_qualname is None:
+            return None
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            cq = queue.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            if ("field", cq, attr) in self.defs:
+                return ("field", cq, attr)
+            info = self.program.classes.get(cq)
+            if info is not None:
+                queue.extend(info.bases)
+        return None
+
+    def resolve_use(self, fn: FunctionInfo, node: ast.expr) -> LockKey | None:
+        """Lock key of a ``with``-statement context expression, or None."""
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                key = self.field_key(fn.class_qualname, node.attr)
+                if key is not None:
+                    return key
+                if _lockish(node.attr) and fn.class_qualname is not None:
+                    key = ("field", fn.class_qualname, node.attr)
+                    self._register(key, "", fn.path, node.lineno)
+                    return key
+                return None
+            # obj.lock — identity keyed by attribute name alone (see docs:
+            # the analyzer cannot type arbitrary receivers).
+            if _lockish(node.attr):
+                key = ("attr", "*", node.attr)
+                self._register(key, node.attr, fn.path, node.lineno)
+                return key
+            return None
+        if isinstance(node, ast.Name):
+            key = ("local", fn.qualname, node.id)
+            if key in self.defs:
+                return key
+            gkey = ("global", fn.module, node.id)
+            if gkey in self.defs:
+                return gkey
+            # An imported lock keeps the identity of its defining module, so
+            # two modules acquiring the same global lock share one node in
+            # the acquisition graph.
+            alias = self.program.modules[fn.module].aliases.get(node.id)
+            if alias and "." in alias:
+                mod, _, var = alias.rpartition(".")
+                akey = ("global", mod, var)
+                if akey in self.defs:
+                    return akey
+            if _lockish(node.id):
+                self._register(key, node.id, fn.path, node.lineno)
+                return key
+        return None
+
+    def display(self, key: LockKey) -> str:
+        hit = self.defs.get(key)
+        if hit is not None:
+            return hit.name
+        return ".".join(str(part) for part in key[1:])
+
+
+# ---------------------------------------------------------------------------
+# Per-function fact extraction
+# ---------------------------------------------------------------------------
+
+
+class _FactCollector:
+    def __init__(self, program: Program, locks: LockIndex, fn: FunctionInfo) -> None:
+        self.program = program
+        self.locks = locks
+        self.fn = fn
+        self.resolver = Resolver(program, fn)
+        self.facts = FuncFacts()
+
+    def run(self) -> FuncFacts:
+        self._walk(self.fn.node.body, ())
+        return self.facts
+
+    # -- statements with held-set threading --------------------------------
+
+    def _walk(self, stmts: list[ast.stmt], held: tuple[LockKey, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    self._visit_expr(item.context_expr, inner)
+                    key = self.locks.resolve_use(self.fn, item.context_expr)
+                    if key is not None and key not in inner:
+                        self.facts.acquires.append(Acquire(
+                            key=key, line=item.context_expr.lineno,
+                            col=item.context_expr.col_offset, held_before=inner,
+                        ))
+                        inner = inner + (key,)
+                self._walk(stmt.body, inner)
+                continue
+            if isinstance(stmt, ast.If):
+                self._visit_expr(stmt.test, held)
+                self._walk(stmt.body, held)
+                self._walk(stmt.orelse, held)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._visit_expr(stmt.iter, held)
+                self._note_write_target(stmt.target, held)
+                self._walk(stmt.body, held)
+                self._walk(stmt.orelse, held)
+                continue
+            if isinstance(stmt, ast.While):
+                self._visit_expr(stmt.test, held)
+                self._walk(stmt.body, held)
+                self._walk(stmt.orelse, held)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk(stmt.body, held)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, held)
+                self._walk(stmt.orelse, held)
+                self._walk(stmt.finalbody, held)
+                continue
+            # Flat statement: record writes, then sweep expressions.
+            if isinstance(stmt, ast.Assign):
+                aliases = self.resolver.aliases
+                is_lock_def = self.locks._lock_ctor_name(stmt.value, aliases) is not None
+                for target in stmt.targets:
+                    if not is_lock_def:
+                        self._note_write_target(target, held)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                if stmt.value is not None or isinstance(stmt, ast.AugAssign):
+                    is_lock_def = isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                        and self.locks._lock_ctor_name(stmt.value, self.resolver.aliases) is not None
+                    if not is_lock_def:
+                        self._note_write_target(stmt.target, held)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child, held)
+
+    def _note_write_target(self, target: ast.expr, held: tuple[LockKey, ...]) -> None:
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name) \
+                and target.value.id in ("self", "cls"):
+            self.facts.fields_accessed.add(target.attr)
+            self.facts.writes.append(WriteFact(
+                attr=target.attr, line=target.lineno, col=target.col_offset, held=held,
+            ))
+        elif isinstance(target, ast.Subscript):
+            # self.d[k] = v mutates the container field.
+            self._note_write_target(target.value, held)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._note_write_target(elt, held)
+
+    # -- expressions -------------------------------------------------------
+
+    def _visit_expr(self, node: ast.expr, held: tuple[LockKey, ...]) -> None:
+        stack: list[ast.AST] = [node]
+        while stack:
+            cur = stack.pop()
+            if isinstance(cur, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+                continue
+            if isinstance(cur, ast.Attribute) and isinstance(cur.value, ast.Name) \
+                    and cur.value.id in ("self", "cls"):
+                self.facts.fields_accessed.add(cur.attr)
+            if isinstance(cur, ast.Call):
+                self._note_call(cur, held)
+            stack.extend(ast.iter_child_nodes(cur))
+
+    def _note_call(self, call: ast.Call, held: tuple[LockKey, ...]) -> None:
+        callee = self.resolver.resolve_callable(call.func)
+        target = callee.target if callee is not None and callee.kind == "func" else None
+        blocking = self._blocking_desc(call, callee)
+        self.facts.calls.append(CallFact(
+            target=target, line=call.lineno, col=call.col_offset,
+            held=held, blocking=blocking,
+        ))
+
+    def _blocking_desc(self, call: ast.Call, callee) -> str | None:
+        if callee is not None and callee.kind == "external":
+            name = callee.target
+            if name in _BLOCKING_EXTERNALS:
+                return f"{name}()"
+            if any(name.startswith(p) for p in _BLOCKING_EXTERNAL_PREFIXES):
+                return f"{name}() [network I/O]"
+        if callee is not None and callee.kind == "func" \
+                and callee.target in _PARALLEL_BARRIERS:
+            return "parallel_map() [pool barrier]"
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            recv = ""
+            if isinstance(func.value, ast.Name):
+                recv = func.value.id
+            elif isinstance(func.value, ast.Attribute):
+                recv = func.value.attr
+            low = recv.lower()
+            if func.attr == "result" and not call.args and not call.keywords:
+                return f"{recv or '<future>'}.result() [future wait]"
+            if func.attr == "get" and any(h in low for h in _QUEUE_HINTS):
+                return f"{recv}.get() [queue wait]"
+            if func.attr == "join" and any(h in low for h in _THREAD_HINTS):
+                return f"{recv}.join() [thread wait]"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural driver
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyAnalysis:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.locks = LockIndex(program)
+        self.facts: dict[str, FuncFacts] = {}
+        self.entry_held: dict[str, frozenset] = {}
+
+    def run(self) -> list[ConcurrencyFinding]:
+        self.locks.collect()
+        for qual, fn in self.program.functions.items():
+            self.facts[qual] = _FactCollector(self.program, self.locks, fn).run()
+        self._fix_entry_held()
+        findings: list[ConcurrencyFinding] = []
+        findings.extend(self._lock_order_findings())
+        findings.extend(self._unguarded_write_findings())
+        findings.extend(self._blocking_findings())
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message))
+        return findings
+
+    # -- held propagation --------------------------------------------------
+
+    def _fix_entry_held(self) -> None:
+        """entry_held[f] = locks held on *every* path into f (least fixpoint,
+        starting from ∅ — under-approximates, never invents a held lock).
+        Thread-entry edges contribute ∅: a fresh thread holds nothing."""
+        self.entry_held = {q: frozenset() for q in self.program.functions}
+        for _ in range(len(self.program.functions) + 1):
+            changed = False
+            incoming: dict[str, list[frozenset]] = {}
+            for caller, facts in self.facts.items():
+                base = self.entry_held[caller]
+                for cf in facts.calls:
+                    if cf.target is None or cf.target not in self.facts:
+                        continue
+                    incoming.setdefault(cf.target, []).append(
+                        base | frozenset(cf.held)
+                    )
+            for target, threaded in (
+                (t, th) for outs in self.program.edges.values() for t, th in outs
+            ):
+                if threaded and target in self.facts:
+                    incoming.setdefault(target, []).append(frozenset())
+            for qual in self.program.functions:
+                sets = incoming.get(qual)
+                new = frozenset.intersection(*sets) if sets else frozenset()
+                if new != self.entry_held[qual]:
+                    self.entry_held[qual] = new
+                    changed = True
+            if not changed:
+                break
+
+    def _eff(self, qual: str, held: tuple[LockKey, ...]) -> frozenset:
+        return self.entry_held.get(qual, frozenset()) | frozenset(held)
+
+    # -- FLOW601 -----------------------------------------------------------
+
+    def _transitive_acquires(self) -> dict[str, dict[LockKey, tuple]]:
+        """qual -> {lock acquired inside f or its callees: witness steps}."""
+        acq: dict[str, dict[LockKey, tuple]] = {q: {} for q in self.facts}
+        for qual, facts in self.facts.items():
+            fn = self.program.functions[qual]
+            for a in facts.acquires:
+                step = (f"{fn.path}:{a.line}: {fn.name}() acquires "
+                        f"{self.locks.display(a.key)!r}",)
+                acq[qual].setdefault(a.key, step)
+        for _ in range(len(self.facts) + 1):
+            changed = False
+            for qual, facts in self.facts.items():
+                fn = self.program.functions[qual]
+                for cf in facts.calls:
+                    if cf.target is None or cf.target not in acq:
+                        continue
+                    for key, steps in acq[cf.target].items():
+                        if key in acq[qual] or len(steps) >= _MAX_TRACE:
+                            continue
+                        callee_name = self.program.functions[cf.target].name
+                        acq[qual][key] = (
+                            f"{fn.path}:{cf.line}: {fn.name}() calls "
+                            f"{callee_name}()",
+                        ) + steps
+                        changed = True
+            if not changed:
+                break
+        return acq
+
+    def _lock_order_findings(self) -> list[ConcurrencyFinding]:
+        acq = self._transitive_acquires()
+        # (k1, k2) -> (path, line, witness steps)
+        edges: dict[tuple[LockKey, LockKey], tuple[str, int, tuple]] = {}
+
+        def add_edge(k1: LockKey, k2: LockKey, path: str, line: int, steps: tuple) -> None:
+            if k1 == k2:
+                return
+            if (k1, k2) not in edges:
+                edges[(k1, k2)] = (path, line, steps)
+
+        for qual, facts in self.facts.items():
+            fn = self.program.functions[qual]
+            for a in facts.acquires:
+                eff = self._eff(qual, a.held_before)
+                for h in eff:
+                    add_edge(h, a.key, fn.path, a.line, (
+                        f"{fn.path}:{a.line}: {fn.name}() acquires "
+                        f"{self.locks.display(a.key)!r} while holding "
+                        f"{self.locks.display(h)!r}",
+                    ))
+            for cf in facts.calls:
+                if cf.target is None or cf.target not in acq:
+                    continue
+                eff = self._eff(qual, cf.held)
+                if not eff:
+                    continue
+                callee_name = self.program.functions[cf.target].name
+                for key, steps in acq[cf.target].items():
+                    if key in eff:
+                        continue
+                    for h in eff:
+                        add_edge(h, key, fn.path, cf.line, (
+                            f"{fn.path}:{cf.line}: {fn.name}() calls "
+                            f"{callee_name}() while holding "
+                            f"{self.locks.display(h)!r}",
+                        ) + steps)
+
+        # Cycle detection over the static acquisition graph.
+        graph: dict[LockKey, list[LockKey]] = {}
+        for (k1, k2) in edges:
+            graph.setdefault(k1, []).append(k2)
+        findings: list[ConcurrencyFinding] = []
+        reported: set[tuple] = set()
+        for start in sorted(graph, key=str):
+            path = self._find_cycle(graph, start)
+            if path is None:
+                continue
+            canon = tuple(sorted(str(k) for k in set(path)))
+            if canon in reported:
+                continue
+            reported.add(canon)
+            names = [self.locks.display(k) for k in path]
+            trace: list[str] = []
+            for i in range(len(path)):
+                k1, k2 = path[i], path[(i + 1) % len(path)]
+                hit = edges.get((k1, k2))
+                if hit is not None:
+                    trace.extend(hit[2])
+            anchor = edges[(path[0], path[1 % len(path)])]
+            findings.append(ConcurrencyFinding(
+                rule_id="FLOW601", path=anchor[0], line=anchor[1], col=0,
+                message=("lock-order cycle: "
+                         + " -> ".join(names + [names[0]])),
+                trace=tuple(trace[:_MAX_TRACE]),
+            ))
+        return findings
+
+    @staticmethod
+    def _find_cycle(graph: dict, start: LockKey) -> list | None:
+        """Shortest cycle through *start* (BFS back to start), or None."""
+        frontier = [[start]]
+        seen = {start}
+        while frontier:
+            path = frontier.pop(0)
+            for nxt in sorted(graph.get(path[-1], ()), key=str):
+                if nxt == start:
+                    return path
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+    # -- FLOW602 -----------------------------------------------------------
+
+    def _thread_reachable(self) -> dict[str, tuple[str, ...]]:
+        """qual -> witness chain from a thread-entry edge to the function."""
+        out: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for caller, outs in self.program.edges.items():
+            cfn = self.program.functions.get(caller)
+            for target, threaded in outs:
+                if threaded and target in self.program.functions and target not in out:
+                    tfn = self.program.functions[target]
+                    where = f"{cfn.path}" if cfn is not None else "?"
+                    out[target] = (
+                        f"{where}: {tfn.name}() runs on a spawned thread "
+                        f"(dispatched from {cfn.name + '()' if cfn else '?'})",
+                    )
+                    queue.append(target)
+        while queue:
+            qual = queue.pop(0)
+            chain = out[qual]
+            fn = self.program.functions[qual]
+            for target, threaded in self.program.edges.get(qual, ()):
+                if target in out or target not in self.program.functions:
+                    continue
+                if len(chain) >= _MAX_TRACE:
+                    continue
+                tfn = self.program.functions[target]
+                out[target] = chain + (
+                    f"{fn.path}: {fn.name}() calls {tfn.name}()",
+                )
+                queue.append(target)
+        return out
+
+    def _field_access_census(self) -> dict[tuple[str, str], set[str]]:
+        """(class, attr) -> functions touching the field."""
+        census: dict[tuple[str, str], set[str]] = {}
+        for qual, facts in self.facts.items():
+            fn = self.program.functions[qual]
+            if fn.class_qualname is None:
+                continue
+            for attr in facts.fields_accessed:
+                census.setdefault((fn.class_qualname, attr), set()).add(qual)
+        return census
+
+    def _unguarded_write_findings(self) -> list[ConcurrencyFinding]:
+        reachable = self._thread_reachable()
+        census = self._field_access_census()
+        findings: list[ConcurrencyFinding] = []
+        seen: set[tuple] = set()
+        for qual, chain in reachable.items():
+            fn = self.program.functions[qual]
+            if fn.name in _INIT_METHODS or fn.class_qualname is None:
+                continue
+            facts = self.facts[qual]
+            for w in facts.writes:
+                if _lockish(w.attr) or w.attr.startswith("__"):
+                    continue
+                if self._eff(qual, w.held):
+                    continue
+                if self.locks.field_key(fn.class_qualname, w.attr) is not None:
+                    continue
+                sharers = census.get((fn.class_qualname, w.attr), set())
+                if len(sharers) < 2:
+                    continue  # touched by one function only: no sharing evidence
+                dedup = (qual, w.attr)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                others = sorted(
+                    self.program.functions[s].name for s in sharers if s != qual
+                )
+                findings.append(ConcurrencyFinding(
+                    rule_id="FLOW602", path=fn.path, line=w.line, col=w.col,
+                    message=(f"self.{w.attr} written in {fn.name}() with no lock "
+                             f"held, on a thread-reachable path"),
+                    trace=chain + (
+                        f"{fn.path}:{w.line}: unguarded write to self.{w.attr}",
+                        f"also touched by: {', '.join(o + '()' for o in others[:4])}",
+                    ),
+                ))
+        return findings
+
+    # -- FLOW603 -----------------------------------------------------------
+
+    def _blocking_summaries(self) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """qual -> (description, witness) for functions that (transitively)
+        block, *ignoring* blocking that happens under the callee's own lock
+        discipline decisions — any block inside counts."""
+        blk: dict[str, tuple[str, tuple[str, ...]]] = {}
+        for qual, facts in self.facts.items():
+            fn = self.program.functions[qual]
+            for cf in facts.calls:
+                if cf.blocking is not None and qual not in blk:
+                    blk[qual] = (cf.blocking, (
+                        f"{fn.path}:{cf.line}: {fn.name}() blocks on {cf.blocking}",
+                    ))
+        for _ in range(len(self.facts) + 1):
+            changed = False
+            for qual, facts in self.facts.items():
+                if qual in blk:
+                    continue
+                fn = self.program.functions[qual]
+                for cf in facts.calls:
+                    if cf.target is None or cf.target not in blk:
+                        continue
+                    desc, steps = blk[cf.target]
+                    if len(steps) >= _MAX_TRACE:
+                        continue
+                    callee_name = self.program.functions[cf.target].name
+                    blk[qual] = (desc, (
+                        f"{fn.path}:{cf.line}: {fn.name}() calls {callee_name}()",
+                    ) + steps)
+                    changed = True
+                    break
+            if not changed:
+                break
+        return blk
+
+    def _blocking_findings(self) -> list[ConcurrencyFinding]:
+        blk = self._blocking_summaries()
+        findings: list[ConcurrencyFinding] = []
+        seen: set[tuple] = set()
+        for qual, facts in self.facts.items():
+            fn = self.program.functions[qual]
+            for cf in facts.calls:
+                eff = self._eff(qual, cf.held)
+                if not eff:
+                    continue
+                if cf.blocking is not None and not cf.held:
+                    # Lock inherited from every caller, not taken here: the
+                    # callers' transitive findings anchor at the acquire
+                    # site, which is where the fix belongs — reporting here
+                    # too would double-count the same hold.
+                    continue
+                locks_held = ", ".join(
+                    sorted(repr(self.locks.display(h)) for h in eff)
+                )
+                if cf.blocking is not None:
+                    key = (qual, cf.line, cf.blocking)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(ConcurrencyFinding(
+                        rule_id="FLOW603", path=fn.path, line=cf.line, col=cf.col,
+                        message=(f"blocking {cf.blocking} in {fn.name}() while "
+                                 f"holding {locks_held}"),
+                        trace=(
+                            f"{fn.path}:{cf.line}: {fn.name}() blocks on "
+                            f"{cf.blocking} holding {locks_held}",
+                        ),
+                    ))
+                elif cf.target is not None and cf.target in blk:
+                    desc, steps = blk[cf.target]
+                    callee_name = self.program.functions[cf.target].name
+                    key = (qual, cf.line, desc)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(ConcurrencyFinding(
+                        rule_id="FLOW603", path=fn.path, line=cf.line, col=cf.col,
+                        message=(f"call to {callee_name}() in {fn.name}() blocks "
+                                 f"on {desc} while holding {locks_held}"),
+                        trace=(
+                            f"{fn.path}:{cf.line}: {fn.name}() calls "
+                            f"{callee_name}() holding {locks_held}",
+                        ) + steps,
+                    ))
+        return findings
+
+
+def analyze_concurrency(program: Program) -> list[ConcurrencyFinding]:
+    return ConcurrencyAnalysis(program).run()

@@ -26,17 +26,30 @@ from repro.errors import AnalysisError
 
 from .rules import Finding, parse_pragmas
 
-# Dotted call targets that read ambient state, per rule.
-_CLOCK_CALLS = {
+# Dotted call targets that read ambient state, per rule. Public: the flow
+# analyzer (repro.analysis.flow.taint) seeds its taint sources from these
+# same tables, so a spelling added here is caught both locally (DET1xx in
+# chaincode) and interprocedurally (FLOW5xx into any consensus sink).
+CLOCK_CALLS = frozenset({
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.localtime",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.thread_time", "time.thread_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns", "time.localtime",
     "time.gmtime", "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
-}
-_RANDOM_ROOTS = ("random.", "secrets.", "numpy.random.")
-_ENV_CALLS = {"os.getenv", "os.environb.get"}
-_ENV_ATTRS = {"os.environ", "os.environb"}
-_UUID_CALLS = {"uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5"}
+})
+RANDOM_ROOTS = ("random.", "secrets.", "numpy.random.")
+RANDOM_CALLS = frozenset({"os.urandom"})
+ENV_CALLS = frozenset({"os.getenv", "os.environb.get"})
+ENV_ATTRS = frozenset({"os.environ", "os.environb"})
+UUID_CALLS = frozenset({"uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5"})
+
+# Backwards-compatible private aliases (internal call sites below).
+_CLOCK_CALLS = CLOCK_CALLS
+_RANDOM_ROOTS = RANDOM_ROOTS
+_ENV_CALLS = ENV_CALLS
+_ENV_ATTRS = ENV_ATTRS
+_UUID_CALLS = UUID_CALLS
 _SET_CONSTRUCTORS = {"set", "frozenset"}
 _MUTATING_METHODS = {
     "append", "add", "update", "setdefault", "pop", "popitem", "clear",
@@ -87,6 +100,7 @@ class _Visitor(ast.NodeVisitor):
         self.aliases: dict[str, str] = {}
         self.module_containers: set[str] = set()
         self.scopes: list[_Scope] = [_Scope()]
+        self._lock_depth = 0  # nesting depth of `with <lock>:` blocks
 
     # -- helpers ----------------------------------------------------------
 
@@ -140,6 +154,17 @@ class _Visitor(ast.NodeVisitor):
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
 
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        # Writes lexically inside `with <lock>:` are what HYG204's fix hint
+        # asks for — don't flag them.
+        locks = sum(1 for item in node.items if self._looks_like_lock(item.context_expr))
+        self._lock_depth += locks
+        self.generic_visit(node)
+        self._lock_depth -= locks
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
     def visit_Global(self, node: ast.Global) -> None:
         self.scopes[-1].global_names.update(node.names)
         self.generic_visit(node)
@@ -191,7 +216,11 @@ class _Visitor(ast.NodeVisitor):
         if self.chaincode and dotted is not None:
             if dotted in _CLOCK_CALLS:
                 self._emit("DET101", node, f"call to {dotted}() reads the wall clock")
-            elif dotted.startswith(_RANDOM_ROOTS) or dotted in ("random", "secrets"):
+            elif (
+                dotted.startswith(_RANDOM_ROOTS)
+                or dotted in ("random", "secrets")
+                or dotted in RANDOM_CALLS
+            ):
                 self._emit("DET102", node, f"call to {dotted}() is a nondeterministic source")
             elif dotted in _ENV_CALLS:
                 self._emit("DET103", node, f"call to {dotted}() reads the process environment")
@@ -277,6 +306,7 @@ class _Visitor(ast.NodeVisitor):
             and node.value.id in self.module_containers
             and self._in_function()
             and node.value.id not in self.scopes[-1].global_names
+            and self._lock_depth == 0
         ):
             self._emit(
                 "HYG204", node,
@@ -396,13 +426,19 @@ def is_chaincode_module(path: str, tree: ast.Module) -> bool:
 
 
 def lint_source(
-    source: str, path: str = "<string>", *, chaincode: bool | None = None
+    source: str, path: str = "<string>", *, chaincode: bool | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Finding]:
-    """Lint one module's source text; returns pragma-filtered findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    """Lint one module's source text; returns pragma-filtered findings.
+
+    A pre-parsed ``tree`` (from :mod:`repro.analysis.astcache`) skips the
+    parse; the caller guarantees it matches ``source``.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {path}: {exc}") from exc
     if chaincode is None:
         chaincode = is_chaincode_module(path, tree)
     visitor = _Visitor(path, chaincode)
@@ -423,12 +459,13 @@ def _display_path(path: Path) -> str:
 
 
 def lint_file(path: str | Path, *, chaincode: bool | None = None) -> list[Finding]:
+    from .astcache import parse_module
+
     p = Path(path)
-    try:
-        source = p.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise AnalysisError(f"cannot read {p}: {exc}") from exc
-    return lint_source(source, _display_path(p), chaincode=chaincode)
+    parsed = parse_module(p, display_path=_display_path(p))
+    return lint_source(
+        parsed.source, parsed.path, chaincode=chaincode, tree=parsed.tree
+    )
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:

@@ -154,10 +154,16 @@ class LockRegistry:
 class TrackedLock:
     """Drop-in ``Lock``/``RLock`` that reports acquisitions to a registry."""
 
-    def __init__(self, name: str, registry: LockRegistry, *, reentrant: bool = False) -> None:
+    def __init__(self, name: str, registry: LockRegistry, *, reentrant: bool = False,
+                 inner=None) -> None:
         self.name = name
         self._registry = registry
-        self._inner = threading.RLock() if reentrant else threading.Lock()
+        # `inner` lets instrumentation wrappers compose in either order:
+        # TimedLock(TrackedLock(...)) or TrackedLock(inner=TimedLock(...)).
+        if inner is not None:
+            self._inner = inner
+        else:
+            self._inner = threading.RLock() if reentrant else threading.Lock()
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:  # reprolint: disable=HYG201
         acquired = self._inner.acquire(blocking, timeout)
@@ -246,7 +252,10 @@ class TimedLock:
 class GuardedShared:
     """Proxy for a shared container whose mutations require a guard lock."""
 
-    def __init__(self, obj, guard: TrackedLock, name: str, registry: LockRegistry) -> None:
+    def __init__(self, obj, guard, name: str, registry: LockRegistry) -> None:
+        # ``guard`` may be a TrackedLock or any wrapper around one; both the
+        # user-facing ``name`` and ``held_by_current_thread`` are preserved
+        # by every wrapper layer.
         self._obj = obj
         self._guard = guard
         self._name = name
@@ -331,10 +340,34 @@ def make_lock(name: str, *, reentrant: bool = False):
     return lock
 
 
+def unwrap_tracked(lock) -> TrackedLock | None:
+    """The :class:`TrackedLock` inside a wrapper chain, whichever order the
+    wrappers were composed in (``TimedLock(TrackedLock(...))`` and
+    ``TrackedLock(inner=TimedLock(...))`` both resolve), or ``None`` when
+    the chain bottoms out on a plain ``threading`` lock."""
+    cur = lock
+    for _ in range(8):  # wrapper chains are shallow; bound against cycles
+        if isinstance(cur, TrackedLock):
+            return cur
+        cur = getattr(cur, "_inner", None)
+        if cur is None:
+            return None
+    return None
+
+
+def lock_name(lock) -> str | None:
+    """User-facing name of an instrumented lock (survives wrapping)."""
+    name = getattr(lock, "name", None)
+    if isinstance(name, str):
+        return name
+    tracked = unwrap_tracked(lock)
+    return tracked.name if tracked is not None else None
+
+
 def guard_shared(obj, guard, name: str):
     """Wrap *obj* so unguarded mutations are reported (no-op when inactive
     or when *guard* is an uninstrumented plain lock)."""
-    tracked = guard._inner if isinstance(guard, TimedLock) else guard
-    if _ACTIVE is not None and isinstance(tracked, TrackedLock):
+    tracked = unwrap_tracked(guard)
+    if _ACTIVE is not None and tracked is not None:
         return GuardedShared(obj, guard, name, _ACTIVE)
     return obj

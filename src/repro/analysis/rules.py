@@ -114,10 +114,45 @@ _RULES = (
     Rule("SAN402", ERROR, "unguarded cross-thread write to shared structure",
          "hold the registered guard lock around every mutation",
          "runtime"),
+    # -- flow rules: whole-program interprocedural analysis ----------------
+    Rule("FLOW501", ERROR, "wall-clock value flows into a consensus-critical sink",
+         "replicas read different clocks; plumb sim_clock / stub.get_timestamp() "
+         "instead, or keep timestamps out of digested bytes",
+         "flow"),
+    Rule("FLOW502", ERROR, "unseeded randomness flows into a consensus-critical sink",
+         "derive the value from tx inputs or a seeded repro.util.rng stream",
+         "flow"),
+    Rule("FLOW503", ERROR, "uuid flows into a consensus-critical sink",
+         "uuids differ per replica; key off tx ids or content hashes",
+         "flow"),
+    Rule("FLOW504", ERROR, "environment value flows into a consensus-critical sink",
+         "environment differs per host; pass configuration explicitly",
+         "flow"),
+    Rule("FLOW505", ERROR, "set-iteration order flows into a consensus-critical sink",
+         "set enumeration follows hash order; sorted(...) before the value "
+         "becomes consensus-visible",
+         "flow"),
+    Rule("FLOW506", WARNING, "float-formatted string flows into a consensus-critical sink",
+         "float presentation is precision-fragile; ship JSON numbers through "
+         "canonical_json instead of formatted strings",
+         "flow"),
+    Rule("FLOW601", ERROR, "static lock-order cycle",
+         "two locks are acquired in opposite orders on some pair of code "
+         "paths; impose one global acquisition order",
+         "flow"),
+    Rule("FLOW602", WARNING, "unguarded write to a thread-shared field",
+         "the field is written on a thread-entry path with no lock held; "
+         "guard it (make_lock/guard_shared) or confine it to one thread",
+         "flow"),
+    Rule("FLOW603", WARNING, "blocking call while holding a lock",
+         "a .result()/queue.get/sleep/network wait under a lock stalls every "
+         "contender; move the wait outside the critical section",
+         "flow"),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULES}
 LINT_RULE_IDS = tuple(r.id for r in _RULES if r.scope in ("chaincode", "repo"))
+FLOW_RULE_IDS = tuple(r.id for r in _RULES if r.scope == "flow")
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -186,6 +221,63 @@ class Finding:
             message=message,
             severity=rule.severity,
             fix_hint=rule.fix_hint,
+        )
+
+
+@dataclass(frozen=True)
+class FlowFinding(Finding):
+    """A finding with an interprocedural witness chain attached.
+
+    ``trace`` is a tuple of human-readable steps, source first, sink last —
+    each ``path:line: what happened``. The trace is presentation only: the
+    baseline identity is inherited from :meth:`Finding.key`, so a finding
+    keeps matching its baseline entry even when an unrelated edit shifts
+    the intermediate hops.
+    """
+
+    trace: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        head = super().render()
+        if not self.trace:
+            return head
+        steps = "\n".join(f"      {i}. {step}" for i, step in enumerate(self.trace, 1))
+        return f"{head}\n{steps}"
+
+    def to_dict(self) -> dict:
+        raw = super().to_dict()
+        raw["trace"] = list(self.trace)
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FlowFinding":
+        base = Finding.from_dict(raw)
+        return cls(
+            rule_id=base.rule_id,
+            path=base.path,
+            line=base.line,
+            col=base.col,
+            message=base.message,
+            severity=base.severity,
+            fix_hint=base.fix_hint,
+            trace=tuple(raw.get("trace", ())),
+        )
+
+    @classmethod
+    def for_rule(  # type: ignore[override]
+        cls, rule_id: str, path: str, line: int, col: int, message: str,
+        trace: tuple[str, ...] = (),
+    ) -> "FlowFinding":
+        rule = get_rule(rule_id)
+        return cls(
+            rule_id=rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=rule.severity,
+            fix_hint=rule.fix_hint,
+            trace=trace,
         )
 
 

@@ -224,3 +224,101 @@ class TestBaseline:
         bad.write_text(json.dumps(["not", "a", "dict"]))
         with pytest.raises(AnalysisError):
             load_baseline(bad)
+
+
+class TestExpandedSources:
+    """Regression net for the wall-clock/entropy source tables: every call
+    the flow analyzer treats as a taint source must also lint as DET1xx."""
+
+    @pytest.mark.parametrize("call", [
+        "time.monotonic()", "time.monotonic_ns()", "time.perf_counter()",
+        "time.perf_counter_ns()", "time.process_time()", "time.thread_time()",
+        "time.clock_gettime(0)", "time.clock_gettime_ns(0)",
+    ])
+    def test_clock_variants_flagged(self, call):
+        source = f"import time\n\ndef f(stub):\n    return {call}\n"
+        assert rule_ids(lint_source(source, CC_PATH)) == ["DET101"]
+
+    def test_datetime_now_flagged_through_alias(self):
+        source = (
+            "from datetime import datetime as dt\n\n"
+            "def f(stub):\n    return dt.now().isoformat()\n"
+        )
+        assert rule_ids(lint_source(source, CC_PATH)) == ["DET101"]
+
+    def test_os_urandom_flagged_as_entropy(self):
+        source = "import os\n\ndef f(stub):\n    return os.urandom(8)\n"
+        assert rule_ids(lint_source(source, CC_PATH)) == ["DET102"]
+
+    def test_linter_and_flow_share_one_source_table(self):
+        from repro.analysis import linter
+        from repro.analysis.flow import taint
+
+        assert taint.CLOCK_CALLS is linter.CLOCK_CALLS
+        assert taint.UUID_CALLS is linter.UUID_CALLS
+
+
+class TestMultiRulePragmas:
+    def test_line_pragma_with_rule_list(self):
+        source = (
+            "import time\n\n"
+            "def f(stub, score):\n"
+            "    return f'{score:.2f}', time.time()  # reprolint: disable=DET101,DET107\n"
+        )
+        assert lint_source(source, CC_PATH) == []
+
+    def test_line_pragma_list_is_still_specific(self):
+        source = (
+            "import time\n\n"
+            "def f(stub, score):\n"
+            "    return f'{score:.2f}', time.time()  # reprolint: disable=DET107,DET105\n"
+        )
+        assert rule_ids(lint_source(source, CC_PATH)) == ["DET101"]
+
+    def test_disable_file_with_rule_list(self):
+        source = (
+            "# reprolint: disable-file=DET101,DET104\n"
+            "import time\nimport uuid\n\n"
+            "def f(stub):\n    return time.time(), uuid.uuid4()\n"
+        )
+        assert lint_source(source, CC_PATH) == []
+
+    def test_disabled_file_findings_do_not_reach_the_baseline_diff(self):
+        source = (
+            "# reprolint: disable-file=DET101\n"
+            "import time\nimport uuid\n\n"
+            "def f(stub):\n    return time.time(), uuid.uuid4()\n"
+        )
+        findings = lint_source(source, CC_PATH)
+        # Only the non-suppressed finding is left to diff against a baseline.
+        assert [f.rule_id for f in diff_baseline(findings, set())] == ["DET104"]
+
+
+class TestBaselineStability:
+    def test_write_is_deduped_and_sorted(self, tmp_path):
+        findings = lint_source(
+            "import time\nimport uuid\n\n"
+            "def f(stub):\n    return time.time(), uuid.uuid4()\n",
+            CC_PATH,
+        )
+        target = tmp_path / "b.json"
+        # Duplicates and arbitrary input order must not change the bytes.
+        write_baseline(target, list(reversed(findings)) + findings)
+        first = target.read_bytes()
+        write_baseline(target, findings + findings)
+        assert target.read_bytes() == first
+        payload = json.loads(first)
+        assert len(payload["findings"]) == len(findings)
+        keys = [(f["path"], f["rule_id"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_baseline_identity_ignores_line_moves(self, tmp_path):
+        original = lint_source(
+            "import time\n\ndef f(stub):\n    return time.time()\n", CC_PATH
+        )
+        target = tmp_path / "b.json"
+        write_baseline(target, original)
+        shifted = lint_source(
+            "import time\n\n\n\n\ndef f(stub):\n    return time.time()\n", CC_PATH
+        )
+        assert diff_baseline(shifted, load_baseline(target)) == []

@@ -227,3 +227,71 @@ class TestConsensusSanitizer:
         channel.invoke(client, "kv", "put", ["a", "1"])
         report = sanitizer.finalize()
         assert report.ok and report.checks["consensus"] == 0
+
+
+class TestLockWrapping:
+    """guard_shared and SAN401 must see through instrumentation wrappers in
+    either composition order (satellite: TimedLock/TrackedLock nesting)."""
+
+    @staticmethod
+    def _orders(registry):
+        tracked_inside = lockcheck.TimedLock(
+            "wrapped", lockcheck.TrackedLock("wrapped", registry))
+        tracked_outside = lockcheck.TrackedLock(
+            "wrapped", registry,
+            inner=lockcheck.TimedLock("wrapped", threading.Lock()))
+        return tracked_inside, tracked_outside
+
+    def test_unwrap_tracked_handles_both_orders(self):
+        registry = LockRegistry()
+        for lock in self._orders(registry):
+            tracked = lockcheck.unwrap_tracked(lock)
+            assert isinstance(tracked, lockcheck.TrackedLock)
+            assert tracked.name == "wrapped"
+
+    def test_unwrap_tracked_is_none_for_plain_locks(self):
+        assert lockcheck.unwrap_tracked(threading.Lock()) is None
+        assert lockcheck.unwrap_tracked(
+            lockcheck.TimedLock("t", threading.Lock())) is None
+
+    def test_lock_name_survives_wrapping(self):
+        registry = LockRegistry()
+        for lock in self._orders(registry):
+            assert lockcheck.lock_name(lock) == "wrapped"
+        assert lockcheck.lock_name(threading.Lock()) is None
+
+    def test_guard_shared_active_through_either_order(self):
+        for picker in (0, 1):
+            registry = LockRegistry()
+            lockcheck.activate(registry)
+            guard = self._orders(registry)[picker]
+            shared = lockcheck.guard_shared({}, guard, "shared.map")
+            assert isinstance(shared, GuardedShared)
+            with guard:
+                shared["ok"] = 1
+            shared["rogue"] = 2
+            findings = registry.findings()
+            assert [f.rule_id for f in findings] == ["SAN402"]
+            assert "shared.map" in findings[0].message
+            lockcheck.deactivate()
+
+    def test_guard_shared_noop_for_uninstrumented_guard(self):
+        registry = LockRegistry()
+        lockcheck.activate(registry)
+        raw = {}
+        assert lockcheck.guard_shared(raw, threading.Lock(), "x") is raw
+
+    def test_san401_reports_user_facing_names_through_wrappers(self):
+        registry = LockRegistry()
+        a = lockcheck.TimedLock("A", lockcheck.TrackedLock("A", registry))
+        b = lockcheck.TrackedLock(
+            "B", registry, inner=lockcheck.TimedLock("B", threading.Lock()))
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        san401 = [f for f in registry.findings() if f.rule_id == "SAN401"]
+        assert san401
+        assert "A" in san401[0].message and "B" in san401[0].message

@@ -286,3 +286,120 @@ class TestSanitizeRunCli:
                      "--sanitize", "all"]) == 0
         out = capsys.readouterr().out
         assert "sanitizers : PASS" in out
+
+
+class TestFlowcheckCli:
+    @staticmethod
+    def _fixture_tree(tmp_path):
+        """One true positive per FLOW rule family, plus one suppressed flow."""
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "codec.py").write_text(
+            "import json\n\n\ndef canonical_json(v):\n"
+            "    return json.dumps(v, sort_keys=True).encode()\n"
+        )
+        # FLOW5xx: wall clock two calls upstream of the codec sink.
+        (pkg / "seal.py").write_text(
+            "import time\n"
+            "from .codec import canonical_json\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n\n\n"
+            "def seal(payload):\n"
+            "    return canonical_json({'p': payload, 'at': stamp()})\n"
+        )
+        # FLOW6xx: lock-order inversion plus a blocking call under a lock.
+        (pkg / "locks.py").write_text(
+            "import threading\n"
+            "import time\n\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n\n\n"
+            "def forward():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            time.sleep(1)\n\n\n"
+            "def backward():\n"
+            "    with B:\n"
+            "        with A:\n"
+            "            pass\n"
+        )
+        # Suppressed at the source line: must not count as a finding.
+        (pkg / "quiet.py").write_text(
+            "import time\n"
+            "from .codec import canonical_json\n\n\n"
+            "def ok():\n"
+            "    t = time.time()  # reprolint: disable=FLOW501\n"
+            "    return canonical_json({'t': t})\n"
+        )
+        return pkg
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "ok.py").write_text("def add(a, b):\n    return a + b\n")
+        assert main(["flowcheck", str(pkg),
+                     "--baseline", str(tmp_path / "b.json")]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_fixture_tree_reports_each_family_once(self, capsys, tmp_path):
+        pkg = self._fixture_tree(tmp_path)
+        assert main(["flowcheck", str(pkg),
+                     "--baseline", str(tmp_path / "b.json")]) == 1
+        out = capsys.readouterr().out
+        assert out.count("FLOW501") == 1   # suppressed flow must not add one
+        assert out.count("FLOW601") == 1
+        assert out.count("FLOW603") == 1
+        assert "quiet.py" not in out
+
+    def test_json_output_carries_traces(self, capsys, tmp_path):
+        pkg = self._fixture_tree(tmp_path)
+        assert main(["flowcheck", str(pkg), "--format", "json",
+                     "--baseline", str(tmp_path / "b.json")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        by_rule = {f["rule_id"]: f for f in payload["findings"]}
+        assert set(by_rule) == {"FLOW501", "FLOW601", "FLOW603"}
+        taint = by_rule["FLOW501"]
+        assert "time.time() [wall clock]" in taint["trace"][0]
+        assert "canonical_json() [sink]" in taint["trace"][-1]
+        assert len(by_rule["FLOW601"]["trace"]) >= 2
+        assert payload["stats"]["modules"] == 5
+
+    def test_baseline_workflow(self, capsys, tmp_path):
+        pkg = self._fixture_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["flowcheck", str(pkg), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["flowcheck", str(pkg), "--baseline", str(baseline)]) == 0
+        assert "3 baselined" in capsys.readouterr().out
+        # A fresh inversion partner still fails the gate.
+        (pkg / "fresh.py").write_text(
+            "import os\n"
+            "from .codec import canonical_json\n\n\n"
+            "def leak():\n"
+            "    return canonical_json(os.getenv('HOME'))\n"
+        )
+        assert main(["flowcheck", str(pkg), "--baseline", str(baseline)]) == 1
+        assert "FLOW504" in capsys.readouterr().out
+
+    def test_callgraph_export(self, capsys, tmp_path):
+        pkg = self._fixture_tree(tmp_path)
+        graph_file = tmp_path / "graph.json"
+        main(["flowcheck", str(pkg), "--baseline", str(tmp_path / "b.json"),
+              "--callgraph-out", str(graph_file)])
+        graph = json.loads(graph_file.read_text())
+        assert "pkg.seal.seal" in graph["functions"]
+        assert ["pkg.seal.seal", "pkg.seal.stamp", "call"] in graph["edges"]
+
+    def test_missing_path_is_usage_error(self, capsys, tmp_path):
+        assert main(["flowcheck", str(tmp_path / "nope"),
+                     "--baseline", str(tmp_path / "b.json")]) == 2
+
+    def test_repo_is_clean_against_checked_in_baseline(self, capsys, monkeypatch):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert main(["flowcheck"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
